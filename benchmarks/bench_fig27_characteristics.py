@@ -1,0 +1,65 @@
+"""Figure 27: UWSDT characteristics after the chase and after each query.
+
+The paper's table reports, for 12.5M tuples and four placeholder densities,
+the number of components (#comp), the number of components spanning more
+than one placeholder (#comp>1), the size of the component relation |C| and
+the size of the template relation |R| — first after chasing the 12
+dependencies, then for the answer of each of Q1–Q6.
+
+This benchmark regenerates the same table at laptop scale and times the
+statistics collection; the printed table is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_records, run_characteristics_experiment
+from repro.census import query_names
+
+from conftest import base_rows
+
+DENSITIES = (0.00005, 0.0001, 0.0005, 0.001)
+
+COLUMNS = (
+    "stage",
+    "density_label",
+    "components",
+    "components_gt1",
+    "component_relation_size",
+    "template_size",
+)
+
+
+def test_characteristics_table(benchmark):
+    """Regenerate the Figure 27 table (chase row plus one row per query, per density)."""
+    records = benchmark.pedantic(
+        run_characteristics_experiment,
+        kwargs={"rows": base_rows(), "densities": DENSITIES},
+        iterations=1,
+        rounds=1,
+    )
+    table = format_records(records, COLUMNS)
+    print("\nFigure 27 (laptop scale, {} tuples)".format(base_rows()))
+    print(table)
+
+    stages = {record["stage"] for record in records}
+    assert stages == set(["chase"] + query_names())
+    # The shape reported by the paper: the number of components grows with the
+    # placeholder density, and query answers touch far fewer components than
+    # the chased base relation.
+    per_density = {
+        record["density_label"]: record["components"]
+        for record in records
+        if record["stage"] == "chase"
+    }
+    ordered = [per_density[label] for label in ("0.005%", "0.01%", "0.05%", "0.1%")]
+    assert ordered == sorted(ordered)
+    for record in records:
+        if record["stage"] != "chase":
+            chase_row = next(
+                r
+                for r in records
+                if r["stage"] == "chase" and r["density_label"] == record["density_label"]
+            )
+            assert record["components"] <= chase_row["components"]

@@ -1,0 +1,38 @@
+"""Figure 28: distribution of component sizes after the chase.
+
+The paper reports, per relation size and density, how many components have
+1, 2, 3 or ≥4 placeholders, observing that the counts drop off very quickly
+— almost all fields remain independent after cleaning.  This benchmark
+regenerates the histogram at laptop scale and asserts the same shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_records, run_component_size_experiment
+
+from conftest import base_rows, size_sweep
+
+DENSITIES = (0.00005, 0.0001, 0.0005, 0.001)
+
+COLUMNS = ("rows", "density_label", "size_1", "size_2", "size_3", "size_4_plus")
+
+
+def test_component_size_distribution(benchmark):
+    """Regenerate the Figure 28 histogram for two relation sizes and four densities."""
+    sizes = size_sweep()[-2:]
+    records = benchmark.pedantic(
+        run_component_size_experiment,
+        kwargs={"sizes": sizes, "densities": DENSITIES},
+        iterations=1,
+        rounds=1,
+    )
+    print("\nFigure 28 (laptop scale)")
+    print(format_records(records, COLUMNS))
+
+    for record in records:
+        # Singleton components dominate, and counts fall off monotonically —
+        # the paper's headline observation.
+        assert record["size_1"] >= record["size_2"] >= record["size_3"]
+        assert record["size_1"] >= record["size_4_plus"]

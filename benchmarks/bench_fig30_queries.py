@@ -1,0 +1,67 @@
+"""Figure 30: evaluation time of the six census queries on UWSDTs.
+
+The paper plots, for each query Q1–Q6, the evaluation time against the
+relation size with one curve per placeholder density, including the 0 %
+curve (a single conventional world).  The headline observation is that the
+UWSDT evaluation time closely tracks the one-world time for all queries but
+the join query Q5.
+
+Each benchmark below is one (query, density) curve point at the base size;
+the densities include 0 % so the one-world baseline is part of the same
+run.  Timing of the chase is *not* included (matching the paper: queries run
+on the already-cleaned representation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import census_instance, density_label
+from repro.census import CENSUS_QUERIES
+from repro.core.algebra import evaluate_on_database, evaluate_on_uwsdt
+
+from conftest import base_rows
+
+DENSITIES = (0.0, 0.00005, 0.0001, 0.0005, 0.001)
+QUERIES = tuple(CENSUS_QUERIES)
+
+_CHASED_CACHE = {}
+
+
+def _chased(rows: int, density: float):
+    key = (rows, density)
+    if key not in _CHASED_CACHE:
+        _CHASED_CACHE[key] = census_instance(rows, density).chased()
+    return _CHASED_CACHE[key]
+
+
+@pytest.mark.parametrize("density", DENSITIES, ids=[density_label(d) for d in DENSITIES])
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_query_evaluation(benchmark, query_name, density):
+    """One (query, density) point of Figure 30 at the base relation size."""
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    query = CENSUS_QUERIES[query_name]()
+
+    if density == 0.0:
+        database = instance.one_world_database()
+
+        def run():
+            return evaluate_on_database(query, database, "result")
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = len(result)
+    else:
+        chased = _chased(rows, density)
+
+        def run():
+            working_copy = chased.copy()
+            evaluate_on_uwsdt(query, working_copy, "result")
+            return working_copy
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = result.template_size("result")
+
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["query"] = query_name

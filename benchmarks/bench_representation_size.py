@@ -1,0 +1,77 @@
+"""Representation-size comparison: the ``10^(10^6)`` explosion at laptop scale.
+
+Reproduces the expressiveness/size claims of the introduction and Section 3:
+
+* an or-set relation and its WSD encoding grow *linearly* with the number of
+  uncertain fields,
+* the explicit world-set relation grows *exponentially*,
+* after cleaning with a key constraint the result is no longer representable
+  as an or-set relation at all, while the WSD stays linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.orset_engine import is_representable_as_orsets
+from repro.bench import format_records, run_representation_size_experiment
+from repro.core import WSD, FunctionalDependency, chase_wsd
+from repro.worlds import OrSet, OrSetRelation
+
+COLUMNS = (
+    "uncertain_fields",
+    "worlds",
+    "orset_values",
+    "wsd_values",
+    "worldset_relation_values",
+)
+
+
+def test_representation_sizes(benchmark):
+    """Linear WSD/or-set growth versus exponential world-set relation growth."""
+    records = benchmark.pedantic(
+        run_representation_size_experiment,
+        kwargs={"field_counts": (2, 4, 6, 8, 10, 12)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\nRepresentation sizes (values stored)")
+    print(format_records(records, COLUMNS))
+
+    for record in records:
+        assert record["wsd_values"] == record["orset_values"]
+        assert record["worlds"] == 2 ** record["uncertain_fields"]
+    growth = [r["worldset_relation_values"] for r in records]
+    linear = [r["wsd_values"] for r in records]
+    # Exponential vs linear: the ratio explodes.
+    assert growth[-1] / growth[0] > 100 * (linear[-1] / linear[0])
+
+
+def test_cleaning_leaves_orset_representability(benchmark):
+    """The introduction's claim: the cleaned census forms are not an or-set relation."""
+
+    def build_and_clean():
+        forms = OrSetRelation.from_dicts(
+            "R",
+            ["S", "N", "M"],
+            [
+                {"S": OrSet([185, 785]), "N": "Smith", "M": OrSet([1, 2])},
+                {"S": OrSet([185, 186]), "N": "Brown", "M": OrSet([1, 2, 3, 4])},
+            ],
+        )
+        wsd = WSD.from_orset_relation(forms)
+        chase_wsd(
+            wsd,
+            [FunctionalDependency("R", ["S"], "N"), FunctionalDependency("R", ["S"], "M")],
+        )
+        return forms, wsd
+
+    forms, wsd = benchmark.pedantic(build_and_clean, iterations=1, rounds=1)
+    worlds = wsd.rep()
+    assert len(forms.to_worldset()) == 32
+    assert len(worlds) == 24
+    # The 32-world input is or-set representable, the cleaned 24-world set is not.
+    assert is_representable_as_orsets(forms.to_worldset(), "R")
+    assert not is_representable_as_orsets(worlds, "R")
+    # The WSD stays small: far fewer stored values than 24 worlds x 6 fields.
+    assert wsd.representation_size() < 24 * 6

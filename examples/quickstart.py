@@ -1,0 +1,99 @@
+"""Quickstart: the census-form example from the paper's introduction.
+
+Walks through the running example of Sections 1–3:
+
+1. two ambiguous census forms as an or-set relation (32 possible worlds),
+2. the probabilistic WSD encoding,
+3. data cleaning with the social-security-number key constraint
+   (32 → 24 worlds; not representable with or-sets any more),
+4. the WSDT / UWSDT refinements,
+5. a projection query and tuple confidences (Example 11),
+6. the equivalent c-table (the Section 1 correspondence).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import OrSet, OrSetRelation, UWSDT, WSD, WSDT
+from repro.core import (
+    FunctionalDependency,
+    chase_wsd,
+    possible_with_confidence,
+)
+from repro.core.algebra import BaseRelation, evaluate_on_wsd
+from repro.ctables import wsdt_to_ctable
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. The two ambiguous census forms (Figure 1) as an or-set relation.
+    # ------------------------------------------------------------------ #
+    forms = OrSetRelation.from_dicts(
+        "R",
+        ["S", "N", "M"],
+        [
+            # Smith's social security number reads as 185 or 785; he is
+            # single (1) or married (2).
+            {"S": OrSet([185, 785], [0.2, 0.8]), "N": "Smith", "M": OrSet([1, 2], [0.7, 0.3])},
+            # Brown's number reads as 185 or 186; the marital status box is
+            # completely unreadable.
+            {"S": OrSet([185, 186], [0.5, 0.5]), "N": "Brown", "M": OrSet([1, 2, 3, 4])},
+        ],
+    )
+    print("== Or-set relation ==")
+    print(f"possible worlds: {forms.world_count()}")
+    print(f"stored values:   {forms.representation_size()}")
+
+    # ------------------------------------------------------------------ #
+    # 2. The probabilistic WSD (Figure 4): one component per uncertain field.
+    # ------------------------------------------------------------------ #
+    wsd = WSD.from_orset_relation(forms)
+    print("\n== Probabilistic WSD (one component per field) ==")
+    print(wsd.to_text())
+
+    # ------------------------------------------------------------------ #
+    # 3. Data cleaning: social security numbers are unique (S -> N, M).
+    # ------------------------------------------------------------------ #
+    chase_wsd(wsd, [FunctionalDependency("R", ["S"], "N"), FunctionalDependency("R", ["S"], "M")])
+    worlds = wsd.rep()
+    print("\n== After chasing the key constraint S -> N, M ==")
+    print(f"remaining worlds: {len(worlds)} (the paper's 24)")
+    print(f"probability mass: {worlds.total_probability():.6f}")
+    print(wsd.to_text())
+
+    # ------------------------------------------------------------------ #
+    # 4. Template refinements: WSDT and the uniform UWSDT.
+    # ------------------------------------------------------------------ #
+    wsdt = WSDT.from_wsd(wsd)
+    print("\n== WSDT (certain data moved to the template, Figure 5) ==")
+    print(wsdt.to_text())
+
+    uwsdt = UWSDT.from_wsdt(wsdt)
+    uniform = uwsdt.to_uniform_relations()
+    print("\n== UWSDT fixed-schema relations (Figure 8) ==")
+    for name in ("F", "W", "C"):
+        print(uniform[name].to_text(max_rows=12))
+        print()
+
+    # ------------------------------------------------------------------ #
+    # 5. A query and tuple confidences (Example 11): Q = π_S(R).
+    # ------------------------------------------------------------------ #
+    query = BaseRelation("R").project(["S"])
+    evaluate_on_wsd(query, wsd, "Q")
+    print("== possible_p(π_S(R)) ==")
+    for row, confidence in possible_with_confidence(wsd, "Q"):
+        print(f"  S = {row[0]}  confidence {confidence:.3f}")
+
+    # ------------------------------------------------------------------ #
+    # 6. The equivalent c-table (Section 1).
+    # ------------------------------------------------------------------ #
+    ctable = wsdt_to_ctable(wsdt, "R")
+    print("\n== Equivalent c-table ==")
+    print(f"rows: {ctable.rows}")
+    print(f"global condition: {ctable.global_condition}")
+    print(f"worlds represented: {len(ctable.to_worldset())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""The application scenarios of Section 10.
+
+* :mod:`repro.apps.repairs` — minimal repairs of inconsistent databases as UWSDTs.
+* :mod:`repro.apps.medical` — interdependent medical data for incomplete patient records.
+"""
+
+from .medical import MedicalScenario, PATIENT_RELATION, TREATMENT_RELATION
+from .repairs import (
+    consistent_answer,
+    key_violation_groups,
+    minimal_repairs,
+    possible_answer,
+    repairs_to_uwsdt,
+)
+
+__all__ = [
+    "MedicalScenario",
+    "PATIENT_RELATION",
+    "TREATMENT_RELATION",
+    "consistent_answer",
+    "key_violation_groups",
+    "minimal_repairs",
+    "possible_answer",
+    "repairs_to_uwsdt",
+]

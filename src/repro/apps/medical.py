@@ -1,0 +1,148 @@
+"""Application scenario 2 (Section 10): interdependent medical data.
+
+Medical knowledge — medications, diseases, symptoms, procedures — forms
+clusters of interdependent facts: a medication may be contraindicated for a
+disease, a procedure prescribed for one condition and forbidden for
+another.  A patient with an incompletely specified history corresponds to a
+set of possible worlds, where interdependent choices must stay together.
+
+Following the paper's outline, interrelated values (linked facts) are placed
+in one component each, independent facts in separate components, and the
+static catalogue (the certain part) in template relations.  The module then
+answers the two questions the paper mentions:
+
+* possible diagnoses given an incomplete patient record,
+* commonly applicable (certain) medications for a set of possible diseases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.component import Component
+from ..core.fields import FieldRef
+from ..core.uwsdt import UWSDT
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+from ..relational.values import PLACEHOLDER
+
+#: Relation names used by the scenario.
+PATIENT_RELATION = "PatientRecord"
+TREATMENT_RELATION = "Treatment"
+
+
+class MedicalScenario:
+    """Builder for a patient-record UWSDT over a fixed treatment catalogue.
+
+    Parameters
+    ----------
+    treatments:
+        The certain catalogue: ``(disease, medication)`` pairs meaning the
+        medication is approved for the disease.
+    """
+
+    def __init__(self, treatments: Iterable[Tuple[str, str]]) -> None:
+        self.treatments = list(treatments)
+        if not self.treatments:
+            raise RepresentationError("the treatment catalogue must not be empty")
+
+    def build_patient_record(
+        self,
+        patient: str,
+        observations: Dict[str, Any],
+        candidate_clusters: Sequence[Dict[str, Sequence[Any]]],
+        cluster_probabilities: Sequence[Sequence[float]] = (),
+    ) -> UWSDT:
+        """Build a UWSDT for one patient.
+
+        ``observations`` holds the certain fields of the record (attribute →
+        value).  Each entry of ``candidate_clusters`` is a cluster of
+        *correlated* unknown attributes: a mapping attribute → list of
+        candidate values, where the i-th candidates of all attributes in the
+        cluster belong together (they form the i-th local world of one
+        component) — e.g. a diagnosis together with the symptom explaining it.
+        """
+        attributes = ["PATIENT"] + sorted(observations) + sorted(
+            {attribute for cluster in candidate_clusters for attribute in cluster}
+        )
+        schema = RelationSchema(PATIENT_RELATION, attributes)
+        uwsdt = UWSDT()
+        uwsdt.add_relation(schema)
+
+        template_values: List[Any] = []
+        for attribute in attributes:
+            if attribute == "PATIENT":
+                template_values.append(patient)
+            elif attribute in observations:
+                template_values.append(observations[attribute])
+            else:
+                template_values.append(PLACEHOLDER)
+        tuple_id = 1
+        uwsdt.add_template_tuple(PATIENT_RELATION, tuple_id, template_values)
+
+        for index, cluster in enumerate(candidate_clusters):
+            cluster_attributes = sorted(cluster)
+            lengths = {len(cluster[a]) for a in cluster_attributes}
+            if len(lengths) != 1:
+                raise RepresentationError(
+                    f"cluster {index} has ragged candidate lists: "
+                    f"{ {a: len(cluster[a]) for a in cluster_attributes} }"
+                )
+            size = lengths.pop()
+            fields = tuple(
+                FieldRef(PATIENT_RELATION, tuple_id, attribute) for attribute in cluster_attributes
+            )
+            rows = [
+                tuple(cluster[attribute][world] for attribute in cluster_attributes)
+                for world in range(size)
+            ]
+            if index < len(cluster_probabilities) and cluster_probabilities[index]:
+                probabilities = list(cluster_probabilities[index])
+            else:
+                probabilities = [1.0 / size] * size
+            uwsdt.new_component(Component(fields, rows, probabilities))
+
+        # The certain treatment catalogue lives in its own template relation.
+        treatment_schema = RelationSchema(TREATMENT_RELATION, ("DISEASE", "MEDICATION"))
+        uwsdt.add_relation(treatment_schema)
+        for index, (disease, medication) in enumerate(self.treatments, start=1):
+            uwsdt.add_template_tuple(TREATMENT_RELATION, index, (disease, medication))
+        return uwsdt
+
+    # ------------------------------------------------------------------ #
+    # The two questions of Section 10
+    # ------------------------------------------------------------------ #
+
+    def possible_diagnoses(self, record: UWSDT, attribute: str = "DIAGNOSIS") -> List[Tuple[Any, float]]:
+        """Possible values of the diagnosis attribute with their confidences."""
+        from ..core.confidence import uwsdt_possible_with_confidence
+
+        schema = record.schema.relation(PATIENT_RELATION)
+        position = schema.position(attribute)
+        results: Dict[Any, float] = {}
+        for values, confidence in uwsdt_possible_with_confidence(record, PATIENT_RELATION):
+            value = values[position]
+            results[value] = max(results.get(value, 0.0), confidence)
+        # Aggregate by diagnosis value: confidence that *some* possible record
+        # has that diagnosis.  Since the record is a single tuple, the max is
+        # exact.
+        return sorted(results.items(), key=lambda item: (-item[1], repr(item[0])))
+
+    def common_medications(self, diseases: Iterable[Any]) -> List[str]:
+        """Medications approved for *every* one of the given (possible) diseases."""
+        diseases = list(diseases)
+        if not diseases:
+            return []
+        per_disease: Dict[Any, set] = {}
+        for disease, medication in self.treatments:
+            per_disease.setdefault(disease, set()).add(medication)
+        common = per_disease.get(diseases[0], set()).copy()
+        for disease in diseases[1:]:
+            common &= per_disease.get(disease, set())
+        return sorted(common)
+
+    def candidate_medications(self, record: UWSDT, attribute: str = "DIAGNOSIS") -> List[str]:
+        """Medications approved for every possible diagnosis of the patient."""
+        diagnoses = [value for value, _ in self.possible_diagnoses(record, attribute)]
+        return self.common_medications(diagnoses)

@@ -1,0 +1,143 @@
+"""Application scenario 1 (Section 10): managing inconsistent databases via repairs.
+
+A database is inconsistent when it violates integrity constraints.  One
+standard approach keeps all *minimal repairs* — consistent instances
+obtained by a minimal number of changes — and answers queries over the set
+of repairs.  Since repairs overlap substantially, the set of repairs is a
+natural fit for UWSDTs: the shared (consistent) part of the database lands
+in the template relations and the differences between repairs in the
+components.
+
+This module implements:
+
+* minimal repairs under *key constraints* by tuple deletion (the classical
+  setting of Arenas, Bertossi & Chomicki),
+* the conversion of the repair set into a UWSDT,
+* consistent (certain) and possible query answers over the repairs —
+  showing the paper's point that the UWSDT answer retains strictly more
+  information than the certain answers alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.uwsdt import UWSDT
+from ..core.wsd import WSD
+from ..relational.database import Database
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..worlds.worldset import WorldSet
+
+
+def key_violation_groups(relation: Relation, key: Sequence[str]) -> List[List[Tuple[Any, ...]]]:
+    """Group tuples by key value; groups with more than one tuple are violations."""
+    positions = relation.schema.positions(key)
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation:
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+    return [rows for rows in groups.values() if len(rows) > 1]
+
+
+def minimal_repairs(relation: Relation, key: Sequence[str]) -> WorldSet:
+    """All minimal repairs of ``relation`` under the key constraint ``key``.
+
+    A minimal repair keeps exactly one tuple from every key-violating group
+    and every non-violating tuple; the result is the set of such choices.
+    """
+    positions = relation.schema.positions(key)
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation:
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+
+    certain_rows = [rows[0] for rows in groups.values() if len(rows) == 1]
+    conflicting = [rows for rows in groups.values() if len(rows) > 1]
+
+    repair_count = 1
+    for rows in conflicting:
+        repair_count *= len(rows)
+    if repair_count > 1_000_000:
+        raise RepresentationError(
+            f"{repair_count} repairs would be enumerated; use repairs_to_uwsdt instead"
+        )
+
+    worldset = WorldSet()
+    for choice in itertools.product(*conflicting) if conflicting else [()]:
+        repaired = Relation(relation.schema)
+        for row in certain_rows:
+            repaired.insert(row)
+        for row in choice:
+            repaired.insert(row)
+        worldset.add(Database([repaired]), 1.0 / repair_count)
+    return worldset
+
+
+def repairs_to_uwsdt(relation: Relation, key: Sequence[str]) -> UWSDT:
+    """Encode the set of minimal repairs directly as a UWSDT (without enumerating it).
+
+    Every non-conflicting tuple becomes a certain template tuple.  Every
+    key-violating group becomes one component whose local worlds choose
+    which tuple of the group survives: the group's tuples all appear in the
+    template, and the component marks, per local world, all but one of them
+    as deleted.  The repairs are equiprobable.
+    """
+    from ..core.component import Component
+    from ..core.fields import FieldRef
+    from ..relational.values import BOTTOM, PLACEHOLDER
+
+    positions = relation.schema.positions(key)
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation:
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+
+    uwsdt = UWSDT()
+    uwsdt.add_relation(relation.schema)
+    attributes = relation.schema.attributes
+    next_tid = 1
+    for key_value, rows in groups.items():
+        if len(rows) == 1:
+            uwsdt.add_template_tuple(relation.schema.name, next_tid, rows[0])
+            next_tid += 1
+            continue
+        # Conflicting group: each tuple's first non-key attribute (or first
+        # attribute) becomes a presence placeholder handled by one component.
+        presence_attribute = next(
+            (a for a in attributes if a not in key), attributes[0]
+        )
+        group_tids = []
+        fields = []
+        for row in rows:
+            template_values = [
+                PLACEHOLDER if attribute == presence_attribute else value
+                for attribute, value in zip(attributes, row)
+            ]
+            uwsdt.add_template_tuple(relation.schema.name, next_tid, template_values)
+            fields.append(FieldRef(relation.schema.name, next_tid, presence_attribute))
+            group_tids.append((next_tid, row))
+            next_tid += 1
+        local_worlds = []
+        probability = 1.0 / len(rows)
+        presence_position = relation.schema.position(presence_attribute)
+        for surviving_index in range(len(rows)):
+            local_world = []
+            for index, (tid, row) in enumerate(group_tids):
+                if index == surviving_index:
+                    local_world.append(row[presence_position])
+                else:
+                    local_world.append(BOTTOM)
+            local_worlds.append(tuple(local_world))
+        uwsdt.new_component(
+            Component(tuple(fields), local_worlds, [probability] * len(rows))
+        )
+    return uwsdt
+
+
+def consistent_answer(repairs: WorldSet, relation_name: str) -> set:
+    """Certain answers: tuples present in every repair (the classical semantics)."""
+    return repairs.certain_tuples(relation_name)
+
+
+def possible_answer(repairs: WorldSet, relation_name: str) -> set:
+    """Possible answers: tuples present in at least one repair."""
+    return repairs.possible_tuples(relation_name)

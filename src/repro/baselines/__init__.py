@@ -1,0 +1,12 @@
+"""Baseline engines and correctness oracles.
+
+* :mod:`repro.baselines.naive`        — explicit per-world evaluation (oracle).
+* :mod:`repro.baselines.orset_engine` — queries on or-set relations and the
+  representability check motivating WSDs.
+* :mod:`repro.baselines.extensional`  — extensional evaluation on
+  tuple-independent probabilistic databases (Dalvi–Suciu style).
+"""
+
+from . import extensional, naive, orset_engine
+
+__all__ = ["extensional", "naive", "orset_engine"]

@@ -1,0 +1,118 @@
+"""The naive possible-worlds engine: iterate over every world explicitly.
+
+This is the baseline the paper argues is infeasible at scale ("we consider
+it infeasible to iterate over all worlds in secondary storage"), but it is
+the perfect *correctness oracle*: query evaluation, data cleaning and
+confidence computation all have a one-line definition over explicit worlds.
+Every WSD/UWSDT algorithm in :mod:`repro.core` is tested against this
+engine on small instances, and the representation-size benchmark uses it to
+demonstrate the exponential gap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.algebra.query import Query, evaluate_on_database
+from ..core.chase import Dependency, EqualityGeneratingDependency, FunctionalDependency
+from ..relational.database import Database
+from ..relational.errors import InconsistentWorldSetError
+from ..relational.relation import Relation
+from ..worlds.worldset import WorldSet
+
+
+def evaluate_query(worldset: WorldSet, query: Query, result_name: str = "result") -> WorldSet:
+    """Evaluate ``query`` in every world; each world is extended by the result."""
+
+    def transform(database: Database) -> Database:
+        extended = database.copy()
+        extended.replace(evaluate_on_database(query, database, result_name))
+        return extended
+
+    return worldset.map(transform)
+
+
+def query_answer_worlds(worldset: WorldSet, query: Query, result_name: str = "result") -> WorldSet:
+    """Like :func:`evaluate_query` but keep only the result relation in each world."""
+
+    def transform(database: Database) -> Database:
+        return Database([evaluate_on_database(query, database, result_name)])
+
+    return worldset.map(transform)
+
+
+def _database_satisfies(database: Database, dependency: Dependency) -> bool:
+    relation = database.relation(dependency.relation)
+    attributes = relation.schema.attributes
+    if isinstance(dependency, EqualityGeneratingDependency):
+        for row in relation:
+            values = dict(zip(attributes, row))
+            if not dependency.holds_for(values):
+                return False
+        return True
+    if isinstance(dependency, FunctionalDependency):
+        rows = list(relation)
+        for i, first in enumerate(rows):
+            left = dict(zip(attributes, first))
+            for second in rows[i + 1 :]:
+                right = dict(zip(attributes, second))
+                if not dependency.holds_for(left, right) or not dependency.holds_for(right, left):
+                    return False
+        return True
+    raise TypeError(f"unsupported dependency {dependency!r}")
+
+
+def clean(worldset: WorldSet, dependencies: Iterable[Dependency]) -> WorldSet:
+    """Remove the worlds violating any dependency, renormalizing probabilities.
+
+    Raises :class:`InconsistentWorldSetError` if no world survives — matching
+    the behaviour of the chase (Figure 24).
+    """
+    dependencies = list(dependencies)
+
+    def keep(database: Database) -> bool:
+        return all(_database_satisfies(database, dependency) for dependency in dependencies)
+
+    cleaned = worldset.filter(keep, renormalize=True)
+    if len(cleaned) == 0:
+        raise InconsistentWorldSetError("World-set is inconsistent.")
+    return cleaned
+
+
+def tuple_confidence(worldset: WorldSet, relation_name: str, values: Sequence[Any]) -> float:
+    """Probability that ``values`` appears in ``relation_name`` (sums world probabilities)."""
+    return worldset.tuple_confidence(relation_name, tuple(values))
+
+
+def possible_tuples(worldset: WorldSet, relation_name: str) -> set:
+    """Tuples appearing in at least one world."""
+    return worldset.possible_tuples(relation_name)
+
+
+def certain_tuples(worldset: WorldSet, relation_name: str) -> set:
+    """Tuples appearing in every world."""
+    return worldset.certain_tuples(relation_name)
+
+
+def possible_with_confidence(
+    worldset: WorldSet, relation_name: str
+) -> List[Tuple[Tuple[Any, ...], float]]:
+    """Possible tuples with their confidences (the oracle for Figure 19)."""
+    return [
+        (row, worldset.tuple_confidence(relation_name, row))
+        for row in sorted(worldset.possible_tuples(relation_name), key=repr)
+    ]
+
+
+def representation_size(worldset: WorldSet) -> int:
+    """Total number of field values needed to store the worlds explicitly.
+
+    This is the size of the world-set relation (one row per world), the
+    quantity the paper's introduction shows exploding to ``10^10`` columns
+    times ``2^(10^6)`` rows for the full census.
+    """
+    total = 0
+    for world in worldset:
+        for relation in world.database:
+            total += len(relation) * relation.schema.arity
+    return total

@@ -1,0 +1,138 @@
+"""Query processing directly on or-set relations — and where it breaks down.
+
+Or-set relations are the paper's motivating "weak" representation system:
+they can encode attribute-level alternatives but no correlations between
+fields.  This module implements the operations that *are* possible on
+or-sets (certain-value selection, projection) and exposes the closure
+failure the introduction demonstrates: the result of data cleaning with a
+key constraint (or of a join selection) is in general not an or-set
+relation, which :func:`is_representable_as_orsets` makes checkable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..relational.predicates import AttrConst, Predicate
+from ..relational.schema import RelationSchema
+from ..worlds.orset import OrSet, OrSetRelation, is_or_set
+from ..worlds.worldset import WorldSet
+
+
+def select_constant(orset_relation: OrSetRelation, predicate: AttrConst) -> OrSetRelation:
+    """Selection ``σ_{Aθc}`` on an or-set relation.
+
+    Keeps a tuple when at least one candidate value satisfies the condition
+    and prunes the candidate values that do not; tuples whose presence
+    becomes world-dependent in a *correlated* way (i.e. the result relation
+    would need to drop the tuple in some worlds but the or-set formalism
+    cannot express a missing tuple) are approximated by keeping only the
+    satisfying candidates.  This is precisely the information loss that
+    makes or-sets a weak representation system; the exact semantics is
+    available through :meth:`repro.worlds.orset.OrSetRelation.to_worldset`.
+    """
+    result = OrSetRelation(orset_relation.schema)
+    attribute_position = orset_relation.schema.position(predicate.attribute)
+    for row in orset_relation.rows:
+        value = row[attribute_position]
+        if is_or_set(value):
+            satisfying = [v for v in value.values if predicate.evaluate(
+                RelationSchema("single", (predicate.attribute,)), (v,)
+            )]
+            if not satisfying:
+                continue
+            new_value: Any = satisfying[0] if len(satisfying) == 1 else OrSet(satisfying)
+            new_row = list(row)
+            new_row[attribute_position] = new_value
+            result.insert(tuple(new_row))
+        else:
+            if predicate.evaluate(RelationSchema("single", (predicate.attribute,)), (value,)):
+                result.insert(row)
+    return result
+
+
+def project(orset_relation: OrSetRelation, attributes: Sequence[str]) -> OrSetRelation:
+    """Projection ``π_U`` on an or-set relation (no duplicate elimination across tuples)."""
+    positions = orset_relation.schema.positions(attributes)
+    result = OrSetRelation(orset_relation.schema.project(attributes))
+    for row in orset_relation.rows:
+        result.insert(tuple(row[p] for p in positions))
+    return result
+
+
+def is_representable_as_orsets(
+    worldset: WorldSet, relation_name: str, search_limit: int = 1_000_000
+) -> bool:
+    """Decide whether a world-set equals the expansion of *some* or-set relation.
+
+    The decision procedure is an exhaustive search suited to the small
+    instances used in tests and examples (the introduction's 24-world census
+    example): every possible tuple is assigned to one of the ``n`` tuple
+    slots of a hypothetical or-set relation (``n`` being the common world
+    cardinality), the per-slot per-attribute candidate sets are collected,
+    and the expansion of the candidate or-set relation is compared with the
+    world-set.  The world-set is representable iff some assignment matches.
+
+    Raises ``RepresentationError`` when the search space exceeds
+    ``search_limit`` assignments — the procedure is meant as an oracle for
+    expressiveness claims, not as a scalable algorithm (the paper proves the
+    negative case for the census example by a counting argument).
+    """
+    from ..relational.errors import RepresentationError
+
+    worlds = [
+        frozenset(world.database.relation(relation_name).rows) for world in worldset
+    ]
+    if not worlds:
+        return True
+    cardinality = len(next(iter(worlds)))
+    if any(len(world) != cardinality for world in worlds):
+        return False
+    if cardinality == 0:
+        return True
+    observed = set(worlds)
+    possible_tuples = sorted({row for world in worlds for row in world}, key=repr)
+    arity = len(possible_tuples[0])
+
+    assignments = cardinality ** len(possible_tuples)
+    if assignments > search_limit:
+        raise RepresentationError(
+            f"or-set representability search space too large ({assignments} assignments)"
+        )
+
+    for assignment in itertools.product(range(cardinality), repeat=len(possible_tuples)):
+        slots: List[List[Tuple[Any, ...]]] = [[] for _ in range(cardinality)]
+        for row, slot in zip(possible_tuples, assignment):
+            slots[slot].append(row)
+        if any(not slot for slot in slots):
+            continue
+        # Every world must take exactly one tuple from every slot.
+        if not all(
+            all(sum(1 for row in world if row in slot_rows) == 1 for slot_rows in slots)
+            for world in worlds
+        ):
+            continue
+        candidate_sets = [
+            [sorted({row[position] for row in slot_rows}, key=repr) for position in range(arity)]
+            for slot_rows in slots
+        ]
+        expansion_size = 1
+        for slot_candidates in candidate_sets:
+            for values in slot_candidates:
+                expansion_size *= len(values)
+        if expansion_size != len(observed):
+            continue
+        expansion = set()
+        for combination in itertools.product(
+            *[itertools.product(*slot_candidates) for slot_candidates in candidate_sets]
+        ):
+            expansion.add(frozenset(combination))
+        if expansion == observed:
+            return True
+    return False
+
+
+def orset_representation_size(orset_relation: OrSetRelation) -> int:
+    """Number of stored values (the linear size the paper compares against)."""
+    return orset_relation.representation_size()

@@ -1,0 +1,37 @@
+"""The evaluation workload: a synthetic IPUMS-like census scenario.
+
+Reproduces the paper's Section 9 setup: a 50-attribute multiple-choice
+census relation, or-set noise injection at configurable densities, the 12
+cleaning dependencies of Figure 25 and the six queries of Figure 29.
+"""
+
+from .dependencies import census_dependencies
+from .generator import CensusGenerator, uncertain_field_count
+from .queries import CENSUS_QUERIES, census_query, q1, q2, q3, q4, q5, q6, query_names
+from .schema import (
+    CENSUS_RELATION,
+    TOTAL_ATTRIBUTES,
+    attribute_domains,
+    census_attributes,
+    census_schema,
+)
+
+__all__ = [
+    "census_dependencies",
+    "CensusGenerator",
+    "uncertain_field_count",
+    "CENSUS_QUERIES",
+    "census_query",
+    "q1",
+    "q2",
+    "q3",
+    "q4",
+    "q5",
+    "q6",
+    "query_names",
+    "CENSUS_RELATION",
+    "TOTAL_ATTRIBUTES",
+    "attribute_domains",
+    "census_attributes",
+    "census_schema",
+]

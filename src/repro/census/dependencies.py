@@ -1,0 +1,34 @@
+"""The twelve census cleaning dependencies of Figure 25.
+
+All twelve are single-tuple equality-generating dependencies: real-life
+consistency rules such as "citizens born in the USA are not immigrants" or
+"people who served in the second world war have done their military
+service".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.chase import Comparison, EqualityGeneratingDependency
+from .schema import CENSUS_RELATION
+
+
+def census_dependencies(relation: str = CENSUS_RELATION) -> List[EqualityGeneratingDependency]:
+    """The 12 EGDs of Figure 25, in the paper's order."""
+    egd = EqualityGeneratingDependency
+    atom = Comparison
+    return [
+        egd(relation, [atom("CITIZEN", "=", 0)], atom("IMMIGR", "=", 0)),
+        egd(relation, [atom("FEB55", "=", 1)], atom("MILITARY", "!=", 4)),
+        egd(relation, [atom("KOREAN", "=", 1)], atom("MILITARY", "!=", 4)),
+        egd(relation, [atom("VIETNAM", "=", 1)], atom("MILITARY", "!=", 4)),
+        egd(relation, [atom("WWII", "=", 1)], atom("MILITARY", "!=", 4)),
+        egd(relation, [atom("MARITAL", "=", 0)], atom("RSPOUSE", "!=", 6)),
+        egd(relation, [atom("MARITAL", "=", 0)], atom("RSPOUSE", "!=", 5)),
+        egd(relation, [atom("LANG1", "=", 2)], atom("ENGLISH", "!=", 4)),
+        egd(relation, [atom("RPOB", "=", 52)], atom("CITIZEN", "!=", 0)),
+        egd(relation, [atom("SCHOOL", "=", 0)], atom("KOREAN", "!=", 1)),
+        egd(relation, [atom("SCHOOL", "=", 0)], atom("FEB55", "!=", 1)),
+        egd(relation, [atom("SCHOOL", "=", 0)], atom("WWII", "!=", 1)),
+    ]

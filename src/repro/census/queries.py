@@ -1,0 +1,85 @@
+"""The six census queries of Figure 29, as relational algebra ASTs.
+
+The queries exercise varying operator combinations and selectivities:
+
+* ``Q1`` — US citizens with a PhD (selective conjunctive selection),
+* ``Q2`` — place of work of foreign-born citizens with poor English
+  (selection + projection),
+* ``Q3`` — widows with many children living in their state of birth
+  (selection with an attribute-to-attribute condition + projection),
+* ``Q4`` — married persons without children (very unselective selection),
+* ``Q5`` — join of Q2 and Q3 restricted to states with IPUMS index > 50,
+* ``Q6`` — places of birth and work of persons speaking English well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.algebra.query import BaseRelation, Query
+from ..relational.predicates import And, Or, attr_eq, eq, gt, ne
+from .schema import CENSUS_RELATION
+
+
+def q1(relation: str = CENSUS_RELATION) -> Query:
+    """``Q1 := σ_{YEARSCH=17 ∧ CITIZEN=0}(R)``."""
+    return BaseRelation(relation).select(And(eq("YEARSCH", 17), eq("CITIZEN", 0)))
+
+
+def q2(relation: str = CENSUS_RELATION) -> Query:
+    """``Q2 := π_{POWSTATE,CITIZEN,IMMIGR}(σ_{CITIZEN<>0 ∧ ENGLISH>3}(R))``."""
+    return (
+        BaseRelation(relation)
+        .select(And(ne("CITIZEN", 0), gt("ENGLISH", 3)))
+        .project(["POWSTATE", "CITIZEN", "IMMIGR"])
+    )
+
+
+def q3(relation: str = CENSUS_RELATION) -> Query:
+    """``Q3 := π_{POWSTATE,MARITAL,FERTIL}(σ_{POWSTATE=POB}(σ_{FERTIL>4 ∧ MARITAL=1}(R)))``."""
+    return (
+        BaseRelation(relation)
+        .select(And(gt("FERTIL", 4), eq("MARITAL", 1)))
+        .select(attr_eq("POWSTATE", "POB"))
+        .project(["POWSTATE", "MARITAL", "FERTIL"])
+    )
+
+
+def q4(relation: str = CENSUS_RELATION) -> Query:
+    """``Q4 := σ_{FERTIL=1 ∧ (RSPOUSE=1 ∨ RSPOUSE=2)}(R)``."""
+    return BaseRelation(relation).select(
+        And(eq("FERTIL", 1), Or(eq("RSPOUSE", 1), eq("RSPOUSE", 2)))
+    )
+
+
+def q5(relation: str = CENSUS_RELATION) -> Query:
+    """``Q5 := δ_{POWSTATE→P1}(σ_{POWSTATE>50}(Q2)) ⋈_{P1=P2} δ_{POWSTATE→P2}(σ_{POWSTATE>50}(Q3))``."""
+    left = q2(relation).select(gt("POWSTATE", 50)).rename("POWSTATE", "P1")
+    right = q3(relation).select(gt("POWSTATE", 50)).rename("POWSTATE", "P2")
+    return left.join(right, "P1", "P2")
+
+
+def q6(relation: str = CENSUS_RELATION) -> Query:
+    """``Q6 := π_{POWSTATE,POB}(σ_{ENGLISH=3}(R))``."""
+    return BaseRelation(relation).select(eq("ENGLISH", 3)).project(["POWSTATE", "POB"])
+
+
+#: All six queries keyed by their paper name.
+CENSUS_QUERIES: Dict[str, Callable[[], Query]] = {
+    "Q1": q1,
+    "Q2": q2,
+    "Q3": q3,
+    "Q4": q4,
+    "Q5": q5,
+    "Q6": q6,
+}
+
+
+def query_names() -> List[str]:
+    """The names of the six census queries, in the paper's order."""
+    return list(CENSUS_QUERIES)
+
+
+def census_query(name: str) -> Query:
+    """Return the query named ``name`` (``"Q1"`` .. ``"Q6"``)."""
+    return CENSUS_QUERIES[name]()

@@ -1,0 +1,70 @@
+"""The synthetic IPUMS-like census schema.
+
+The paper's experiments use the public 5 % extract of the 1990 US census
+(IPUMS): a single relation with 50 exclusively multiple-choice attributes
+and 12.5 million tuples.  We cannot ship that dataset, so this module
+defines a schema with the same shape: the attributes referenced by the
+paper's queries (Figure 29) and cleaning dependencies (Figure 25) with
+domain sizes taken from the IPUMS code books, padded with generic
+multiple-choice attributes up to 50 columns.
+
+Only the *shape* matters for the reproduction: attribute count, domain
+sizes (which bound or-set sizes), and the selectivities of the queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..relational.schema import RelationSchema
+
+#: Name of the census relation (matches the paper's ``R``).
+CENSUS_RELATION = "R"
+
+#: Attributes referenced by the queries of Figure 29 and the dependencies of
+#: Figure 25, with the size of their (categorical) domain.  Values are the
+#: integers ``0 .. size-1`` except where noted below.
+NAMED_ATTRIBUTES: List[Tuple[str, int]] = [
+    ("CITIZEN", 5),      # 0 = born in the US
+    ("IMMIGR", 11),      # 0 = not an immigrant
+    ("FEB55", 2),        # served Feb 1955 era
+    ("KOREAN", 2),       # served in Korea
+    ("VIETNAM", 2),      # served in Vietnam
+    ("WWII", 2),         # served in WWII
+    ("MILITARY", 5),     # 4 = never served
+    ("MARITAL", 5),      # 0 = now married
+    ("RSPOUSE", 7),      # 1/2 = married couple, 5/6 = not applicable variants
+    ("LANG1", 3),        # 2 = speaks only English
+    ("ENGLISH", 5),      # 4 = does not speak English
+    ("RPOB", 56),        # place of birth recode; 52 = born abroad of US parents
+    ("SCHOOL", 3),       # 0 = not attending
+    ("YEARSCH", 18),     # 17 = doctorate
+    ("POWSTATE", 60),    # place-of-work state, IPUMS index (>50 = special codes)
+    ("POB", 60),         # place of birth (state index)
+    ("FERTIL", 14),      # 1 = no children ever born
+]
+
+#: Total attribute count of the census relation (as in the paper).
+TOTAL_ATTRIBUTES = 50
+
+
+def census_attributes() -> List[str]:
+    """The 50 attribute names of the census relation."""
+    names = [name for name, _ in NAMED_ATTRIBUTES]
+    filler_count = TOTAL_ATTRIBUTES - len(names)
+    names.extend(f"Q{index:02d}" for index in range(1, filler_count + 1))
+    return names
+
+
+def attribute_domains() -> Dict[str, int]:
+    """Domain size of each attribute (filler attributes are 8-way multiple choice)."""
+    domains = {name: size for name, size in NAMED_ATTRIBUTES}
+    for name in census_attributes():
+        if name not in domains:
+            domains[name] = 8
+    return domains
+
+
+def census_schema() -> RelationSchema:
+    """The relation schema of the census relation."""
+    return RelationSchema(CENSUS_RELATION, census_attributes())

@@ -1,0 +1,374 @@
+"""Relational algebra query ASTs and their evaluation on all three engines.
+
+A :class:`Query` is a small algebra expression tree (the operators of
+Section 2: σ, π, ×, ∪, −, δ, plus an equi-join convenience node).  The same
+tree can be evaluated
+
+* on an ordinary :class:`~repro.relational.database.Database` (classical,
+  one-world semantics) — used for the naive baseline and the 0 %-density
+  runs of Figure 30,
+* on a :class:`~repro.core.wsd.WSD` via the operators of Figure 9,
+* on a :class:`~repro.core.uwsdt.UWSDT` via the native operators of
+  Section 5.
+
+For the WSD/UWSDT engines the query processor ``Q̂`` extends the input
+representation with one intermediate relation per operator (so correlations
+with the input are preserved) and returns the name of the result relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ...relational import algebra as relational_algebra
+from ...relational.database import Database
+from ...relational.errors import QueryError
+from ...relational.predicates import AttrAttr, Predicate
+from ...relational.relation import Relation
+from ..uwsdt import UWSDT
+from ..wsd import WSD
+from . import uwsdt_ops, wsd_ops
+
+
+class Query:
+    """Base class of relational algebra query expressions."""
+
+    # -- convenient combinators -------------------------------------------- #
+
+    def select(self, predicate: Predicate) -> "Select":
+        return Select(self, predicate)
+
+    def project(self, attributes: Sequence[str]) -> "Project":
+        return Project(self, attributes)
+
+    def product(self, other: "Query") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Query") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Query") -> "Difference":
+        return Difference(self, other)
+
+    def rename(self, old: str, new: str) -> "Rename":
+        return Rename(self, old, new)
+
+    def join(self, other: "Query", left_attr: str, right_attr: str) -> "Join":
+        return Join(self, other, left_attr, right_attr)
+
+    def children(self) -> Tuple["Query", ...]:
+        raise NotImplementedError
+
+    def base_relations(self) -> List[str]:
+        """Names of base relations referenced by the query."""
+        names: List[str] = []
+        for child in self.children():
+            for name in child.base_relations():
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+class BaseRelation(Query):
+    """A reference to a stored relation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def children(self) -> Tuple[Query, ...]:
+        return ()
+
+    def base_relations(self) -> List[str]:
+        return [self.name]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Select(Query):
+    """Selection σ_pred."""
+
+    def __init__(self, child: Query, predicate: Predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child!r})"
+
+
+class Project(Query):
+    """Projection π_U."""
+
+    def __init__(self, child: Query, attributes: Sequence[str]) -> None:
+        self.child = child
+        self.attributes = tuple(attributes)
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.attributes)}]({self.child!r})"
+
+
+class Product(Query):
+    """Cartesian product ×."""
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+class Union(Query):
+    """Union ∪."""
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+class Difference(Query):
+    """Difference −."""
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+class Rename(Query):
+    """Attribute renaming δ_{A→A'}."""
+
+    def __init__(self, child: Query, old: str, new: str) -> None:
+        self.child = child
+        self.old = old
+        self.new = new
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"δ[{self.old}→{self.new}]({self.child!r})"
+
+
+class Join(Query):
+    """Equi-join ⋈_{A=B} (a derived operator: product followed by selection)."""
+
+    def __init__(self, left: Query, right: Query, left_attr: str, right_attr: str) -> None:
+        self.left = left
+        self.right = right
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈[{self.left_attr}={self.right_attr}] {self.right!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation on an ordinary database (one world)
+# --------------------------------------------------------------------------- #
+
+
+def evaluate_on_database(query: Query, database: Database, result_name: str = "result") -> Relation:
+    """Classical evaluation: returns the result relation."""
+    relation = _evaluate_db(query, database)
+    return relation.copy(result_name)
+
+
+def _evaluate_db(query: Query, database: Database) -> Relation:
+    if isinstance(query, BaseRelation):
+        return database.relation(query.name)
+    if isinstance(query, Select):
+        return relational_algebra.select(_evaluate_db(query.child, database), query.predicate)
+    if isinstance(query, Project):
+        return relational_algebra.project(_evaluate_db(query.child, database), query.attributes)
+    if isinstance(query, Product):
+        return relational_algebra.product(
+            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+        )
+    if isinstance(query, Union):
+        return relational_algebra.union(
+            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+        )
+    if isinstance(query, Difference):
+        return relational_algebra.difference(
+            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+        )
+    if isinstance(query, Rename):
+        return relational_algebra.rename(_evaluate_db(query.child, database), query.old, query.new)
+    if isinstance(query, Join):
+        return relational_algebra.equi_join(
+            _evaluate_db(query.left, database),
+            _evaluate_db(query.right, database),
+            query.left_attr,
+            query.right_attr,
+        )
+    raise QueryError(f"unknown query node {query!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation on WSDs (Figure 9)
+# --------------------------------------------------------------------------- #
+
+
+def _name_generator(prefix: str) -> Iterator[str]:
+    for index in itertools.count(1):
+        yield f"{prefix}{index}"
+
+
+def evaluate_on_wsd(query: Query, wsd: WSD, result_name: str = "result") -> str:
+    """Evaluate ``query`` on ``wsd`` in place; return the result relation's name.
+
+    The WSD is extended with one relation per operator of the query; the
+    final operator's output is named ``result_name``.
+    """
+    names = _name_generator("__q")
+    final = _evaluate_wsd(query, wsd, names, result_name)
+    return final
+
+
+def _evaluate_wsd(query: Query, wsd: WSD, names: Iterator[str], result_name: Optional[str]) -> str:
+    def fresh(child_result: Optional[str] = None) -> str:
+        return result_name if result_name is not None else next(names)
+
+    if isinstance(query, BaseRelation):
+        if result_name is not None and result_name != query.name:
+            wsd_ops.copy_relation(wsd, query.name, result_name)
+            return result_name
+        return query.name
+    if isinstance(query, Select):
+        child = _evaluate_wsd(query.child, wsd, names, None)
+        target = fresh()
+        wsd_ops.select(wsd, child, target, query.predicate)
+        return target
+    if isinstance(query, Project):
+        child = _evaluate_wsd(query.child, wsd, names, None)
+        target = fresh()
+        wsd_ops.project(wsd, child, target, query.attributes)
+        return target
+    if isinstance(query, Product):
+        left = _evaluate_wsd(query.left, wsd, names, None)
+        right = _evaluate_wsd(query.right, wsd, names, None)
+        target = fresh()
+        wsd_ops.product(wsd, left, right, target)
+        return target
+    if isinstance(query, Union):
+        left = _evaluate_wsd(query.left, wsd, names, None)
+        right = _evaluate_wsd(query.right, wsd, names, None)
+        target = fresh()
+        wsd_ops.union(wsd, left, right, target)
+        return target
+    if isinstance(query, Difference):
+        left = _evaluate_wsd(query.left, wsd, names, None)
+        right = _evaluate_wsd(query.right, wsd, names, None)
+        target = fresh()
+        wsd_ops.difference(wsd, left, right, target)
+        return target
+    if isinstance(query, Rename):
+        child = _evaluate_wsd(query.child, wsd, names, None)
+        target = fresh()
+        wsd_ops.rename(wsd, child, target, query.old, query.new)
+        return target
+    if isinstance(query, Join):
+        left = _evaluate_wsd(query.left, wsd, names, None)
+        right = _evaluate_wsd(query.right, wsd, names, None)
+        intermediate = next(names)
+        wsd_ops.product(wsd, left, right, intermediate)
+        target = fresh()
+        wsd_ops.select(wsd, intermediate, target, AttrAttr(query.left_attr, "=", query.right_attr))
+        return target
+    raise QueryError(f"unknown query node {query!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation on UWSDTs (Section 5)
+# --------------------------------------------------------------------------- #
+
+
+def evaluate_on_uwsdt(query: Query, uwsdt: UWSDT, result_name: str = "result") -> str:
+    """Evaluate ``query`` on ``uwsdt`` in place; return the result relation's name."""
+    names = _name_generator("__q")
+    return _evaluate_uwsdt(query, uwsdt, names, result_name)
+
+
+def _evaluate_uwsdt(
+    query: Query, uwsdt: UWSDT, names: Iterator[str], result_name: Optional[str]
+) -> str:
+    def fresh() -> str:
+        return result_name if result_name is not None else next(names)
+
+    if isinstance(query, BaseRelation):
+        if result_name is not None and result_name != query.name:
+            # Implement copy as a selection with a vacuous predicate-free path.
+            uwsdt_ops.rename(
+                uwsdt,
+                query.name,
+                result_name,
+                uwsdt.schema.relation(query.name).attributes[0],
+                uwsdt.schema.relation(query.name).attributes[0],
+            )
+            return result_name
+        return query.name
+    if isinstance(query, Select):
+        child = _evaluate_uwsdt(query.child, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.select(uwsdt, child, target, query.predicate)
+        return target
+    if isinstance(query, Project):
+        child = _evaluate_uwsdt(query.child, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.project(uwsdt, child, target, query.attributes)
+        return target
+    if isinstance(query, Product):
+        left = _evaluate_uwsdt(query.left, uwsdt, names, None)
+        right = _evaluate_uwsdt(query.right, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.product(uwsdt, left, right, target)
+        return target
+    if isinstance(query, Union):
+        left = _evaluate_uwsdt(query.left, uwsdt, names, None)
+        right = _evaluate_uwsdt(query.right, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.union(uwsdt, left, right, target)
+        return target
+    if isinstance(query, Difference):
+        left = _evaluate_uwsdt(query.left, uwsdt, names, None)
+        right = _evaluate_uwsdt(query.right, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.difference(uwsdt, left, right, target)
+        return target
+    if isinstance(query, Rename):
+        child = _evaluate_uwsdt(query.child, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.rename(uwsdt, child, target, query.old, query.new)
+        return target
+    if isinstance(query, Join):
+        left = _evaluate_uwsdt(query.left, uwsdt, names, None)
+        right = _evaluate_uwsdt(query.right, uwsdt, names, None)
+        target = fresh()
+        uwsdt_ops.equi_join(uwsdt, left, right, query.left_attr, query.right_attr, target)
+        return target
+    raise QueryError(f"unknown query node {query!r}")

@@ -1,0 +1,631 @@
+"""Relational algebra natively on UWSDTs — the engine of Section 5.
+
+Each operator extends the input UWSDT with a result relation, touching the
+template relation with ordinary relational processing and the component
+store only for tuples that actually carry placeholders.  This is what makes
+query evaluation on UWSDTs track the one-world evaluation time so closely
+in Figure 30: for placeholder densities of 0.005 %–0.1 %, the overwhelming
+majority of template tuples never reach the component machinery.
+
+The selection algorithm follows Figure 16: the result template keeps the
+tuples that certainly satisfy the condition or have a placeholder on a
+referenced attribute; component values violating the condition are removed
+(here: marked ``⊥``), and tuples left without any satisfying local world are
+dropped from the result template again (lines 4–6 of the figure).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...relational.errors import RepresentationError, SchemaError
+from ...relational.predicates import Predicate
+from ...relational.schema import RelationSchema
+from ...relational.values import BOTTOM, PLACEHOLDER, is_placeholder
+from ..component import Component
+from ..fields import FieldRef
+from ..uwsdt import TID, UWSDT
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def _placeholder_attrs(attributes: Sequence[str], values: Sequence[Any]) -> List[str]:
+    return [a for a, v in zip(attributes, values) if is_placeholder(v)]
+
+
+def _copy_placeholder_fields(
+    uwsdt: UWSDT,
+    source: str,
+    source_tid: Any,
+    target: str,
+    target_tid: Any,
+    attributes: Iterable[str],
+) -> None:
+    """Extend the owning components with copies ``target.tid.A`` of ``source.tid.A``."""
+    for attribute in attributes:
+        source_field = FieldRef(source, source_tid, attribute)
+        target_field = FieldRef(target, target_tid, attribute)
+        cid = uwsdt.component_of(source_field)
+        if cid is None:
+            raise RepresentationError(
+                f"expected a component for placeholder field {source_field.label()}"
+            )
+        uwsdt.replace_component(cid, uwsdt.components[cid].ext(source_field, target_field))
+
+
+def _mark_tuple_deleted(
+    component: Component, relation: str, tuple_id: Any, row_indices: Sequence[int]
+) -> Component:
+    """Set every field of ``(relation, tuple_id)`` to ``⊥`` in the given local worlds."""
+    positions = [
+        index
+        for index, field in enumerate(component.fields)
+        if field.relation == relation and field.tuple_id == tuple_id
+    ]
+    target_rows = set(row_indices)
+    rows = []
+    for index, row in enumerate(component.rows):
+        if index in target_rows:
+            values = list(row)
+            for position in positions:
+                values[position] = BOTTOM
+            rows.append(tuple(values))
+        else:
+            rows.append(row)
+    return Component(component.fields, rows, component.probabilities)
+
+
+def _tuple_deleted_everywhere(component: Component, relation: str, tuple_id: Any) -> bool:
+    """True iff every local world marks the tuple as deleted (some field ``⊥``)."""
+    positions = [
+        index
+        for index, field in enumerate(component.fields)
+        if field.relation == relation and field.tuple_id == tuple_id
+    ]
+    if not positions:
+        return False
+    return all(any(row[p] is BOTTOM for p in positions) for row in component.rows)
+
+
+def _drop_result_tuple(uwsdt: UWSDT, relation: str, tuple_id: Any, attributes: Sequence[str]) -> None:
+    """Remove a result tuple from the template and its fields from the components."""
+    template = uwsdt.templates[relation]
+    tid_position = template.schema.position(TID)
+    row_to_remove = None
+    for row in template:
+        if row[tid_position] == tuple_id:
+            row_to_remove = row
+            break
+    if row_to_remove is not None:
+        template.remove(row_to_remove)
+    for attribute in attributes:
+        field = FieldRef(relation, tuple_id, attribute)
+        cid = uwsdt.component_of(field)
+        if cid is None:
+            continue
+        reduced = uwsdt.components[cid].project_away([field])
+        uwsdt.field_to_cid.pop(field, None)
+        if reduced is None:
+            uwsdt.components.pop(cid, None)
+        else:
+            old = uwsdt.components[cid]
+            for other in old.fields:
+                uwsdt.field_to_cid.pop(other, None)
+            uwsdt.components[cid] = reduced
+            for other in reduced.fields:
+                uwsdt.field_to_cid[other] = cid
+
+
+def _merge_target_components(uwsdt: UWSDT, fields: Sequence[FieldRef]) -> int:
+    """Ensure all placeholder ``fields`` live in one component; return its cid."""
+    cids = []
+    for field in fields:
+        cid = uwsdt.component_of(field)
+        if cid is None:
+            raise RepresentationError(f"field {field.label()} has no component")
+        cids.append(cid)
+    return uwsdt.merge_components(cids)
+
+
+# --------------------------------------------------------------------------- #
+# Selection
+# --------------------------------------------------------------------------- #
+
+
+def select(uwsdt: UWSDT, source: str, target: str, predicate: Predicate) -> None:
+    """Selection ``P := σ_pred(R)`` on a UWSDT (the algorithm of Figure 16, generalized)."""
+    source_schema = uwsdt.schema.relation(source)
+    for attribute in predicate.attributes():
+        source_schema.position(attribute)
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, source_schema.attributes))
+
+    attributes = source_schema.attributes
+    referenced = predicate.attributes()
+    referenced_positions = [source_schema.position(a) for a in referenced]
+    # Compile the condition once against the referenced-attribute layout: the
+    # certain path of Figure 16 is the hot loop on large templates.
+    reference_schema = RelationSchema(source, referenced) if referenced else None
+    compiled = predicate.compile(reference_schema) if referenced else None
+
+    for tuple_id, values in list(uwsdt.template_rows(source)):
+        uncertain_refs = [
+            a for a, p in zip(referenced, referenced_positions) if is_placeholder(values[p])
+        ]
+        placeholders = _placeholder_attrs(attributes, values)
+
+        if not uncertain_refs:
+            # Line 1 of Figure 16: the condition is decided by the template alone.
+            if compiled is not None and not compiled(
+                tuple(values[p] for p in referenced_positions)
+            ):
+                continue
+            uwsdt.add_template_tuple(target, tuple_id, values)
+            _copy_placeholder_fields(uwsdt, source, tuple_id, target, tuple_id, placeholders)
+            continue
+        value_map = dict(zip(attributes, values))
+
+        # The condition depends on uncertain fields: keep the tuple and filter
+        # its local worlds (lines 2-6 of Figure 16).
+        uwsdt.add_template_tuple(target, tuple_id, values)
+        _copy_placeholder_fields(uwsdt, source, tuple_id, target, tuple_id, placeholders)
+        target_fields = [FieldRef(target, tuple_id, a) for a in uncertain_refs]
+        cid = _merge_target_components(uwsdt, target_fields)
+        component = uwsdt.components[cid]
+
+        certain_refs = [a for a in referenced if not is_placeholder(value_map[a])]
+        pseudo_schema = RelationSchema(target, tuple(referenced))
+        failing: List[int] = []
+        for row_index, row in enumerate(component.rows):
+            assignment: Dict[str, Any] = {a: value_map[a] for a in certain_refs}
+            deleted = False
+            for field in target_fields:
+                value = row[component.position(field)]
+                if value is BOTTOM:
+                    deleted = True
+                    break
+                assignment[field.attribute] = value
+            if deleted:
+                continue
+            pseudo_row = tuple(assignment[a] for a in referenced)
+            if not predicate.evaluate(pseudo_schema, pseudo_row):
+                failing.append(row_index)
+        if failing:
+            component = _mark_tuple_deleted(component, target, tuple_id, failing)
+            component = component.propagate_bottom()
+            uwsdt.replace_component(cid, component)
+        if _tuple_deleted_everywhere(uwsdt.components[cid], target, tuple_id):
+            _drop_result_tuple(uwsdt, target, tuple_id, placeholders)
+
+
+# --------------------------------------------------------------------------- #
+# Projection
+# --------------------------------------------------------------------------- #
+
+
+def project(uwsdt: UWSDT, source: str, target: str, attributes: Sequence[str]) -> None:
+    """Projection ``P := π_U(R)`` on a UWSDT.
+
+    Presence information carried by projected-away placeholder fields is
+    preserved: it is propagated into a kept placeholder field, or — when all
+    kept fields are certain — a kept field is turned into a placeholder whose
+    component encodes "value if present, ``⊥`` otherwise" (the "exists
+    column" device discussed at the end of Section 4).
+    """
+    source_schema = uwsdt.schema.relation(source)
+    for attribute in attributes:
+        source_schema.position(attribute)
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, tuple(attributes)))
+
+    all_attributes = source_schema.attributes
+    dropped = [a for a in all_attributes if a not in attributes]
+
+    for tuple_id, values in list(uwsdt.template_rows(source)):
+        value_map = dict(zip(all_attributes, values))
+        kept_values = [value_map[a] for a in attributes]
+        kept_placeholders = [a for a in attributes if is_placeholder(value_map[a])]
+        dropped_placeholders = [a for a in dropped if is_placeholder(value_map[a])]
+
+        # Which dropped placeholder fields may mark the tuple as absent?
+        presence_fields: List[FieldRef] = []
+        for attribute in dropped_placeholders:
+            field = FieldRef(source, tuple_id, attribute)
+            cid = uwsdt.component_of(field)
+            component = uwsdt.components[cid]
+            if any(value is BOTTOM for value in component.column(field)):
+                presence_fields.append(field)
+
+        if not presence_fields:
+            uwsdt.add_template_tuple(target, tuple_id, kept_values)
+            _copy_placeholder_fields(
+                uwsdt, source, tuple_id, target, tuple_id, kept_placeholders
+            )
+            continue
+
+        if kept_placeholders:
+            uwsdt.add_template_tuple(target, tuple_id, kept_values)
+            _copy_placeholder_fields(
+                uwsdt, source, tuple_id, target, tuple_id, kept_placeholders
+            )
+            target_fields = [FieldRef(target, tuple_id, a) for a in kept_placeholders]
+            cids = [uwsdt.component_of(f) for f in target_fields] + [
+                uwsdt.component_of(f) for f in presence_fields
+            ]
+            cid = uwsdt.merge_components(cids)
+            component = uwsdt.components[cid]
+            presence_positions = [component.position(f) for f in presence_fields]
+            absent_rows = [
+                index
+                for index, row in enumerate(component.rows)
+                if any(row[p] is BOTTOM for p in presence_positions)
+            ]
+            if absent_rows:
+                component = _mark_tuple_deleted(component, target, tuple_id, absent_rows)
+                component = component.propagate_bottom()
+                uwsdt.replace_component(cid, component)
+            continue
+
+        # All kept attributes are certain: turn the first kept attribute into a
+        # placeholder that encodes tuple presence.
+        presence_attr = attributes[0]
+        kept_values_with_placeholder = [
+            PLACEHOLDER if a == presence_attr else value_map[a] for a in attributes
+        ]
+        uwsdt.add_template_tuple(target, tuple_id, kept_values_with_placeholder)
+        cid = uwsdt.merge_components([uwsdt.component_of(f) for f in presence_fields])
+        component = uwsdt.components[cid]
+        presence_positions = [component.position(f) for f in presence_fields]
+        new_field = FieldRef(target, tuple_id, presence_attr)
+        fields = component.fields + (new_field,)
+        rows = []
+        for row in component.rows:
+            absent = any(row[p] is BOTTOM for p in presence_positions)
+            rows.append(row + (BOTTOM if absent else value_map[presence_attr],))
+        uwsdt.replace_component(cid, Component(fields, rows, component.probabilities))
+
+
+# --------------------------------------------------------------------------- #
+# Renaming, union, product
+# --------------------------------------------------------------------------- #
+
+
+def rename(uwsdt: UWSDT, source: str, target: str, old: str, new: str) -> None:
+    """Renaming ``P := δ_{A→A'}(R)`` on a UWSDT."""
+    source_schema = uwsdt.schema.relation(source)
+    renamed_schema = source_schema.rename_attribute(old, new, target)
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(renamed_schema)
+    for tuple_id, values in list(uwsdt.template_rows(source)):
+        uwsdt.add_template_tuple(target, tuple_id, values)
+        for attribute, value in zip(source_schema.attributes, values):
+            if is_placeholder(value):
+                source_field = FieldRef(source, tuple_id, attribute)
+                new_attribute = new if attribute == old else attribute
+                target_field = FieldRef(target, tuple_id, new_attribute)
+                cid = uwsdt.component_of(source_field)
+                uwsdt.replace_component(
+                    cid, uwsdt.components[cid].ext(source_field, target_field)
+                )
+
+
+def union(uwsdt: UWSDT, left: str, right: str, target: str) -> None:
+    """Union ``T := R ∪ S`` on a UWSDT."""
+    left_schema = uwsdt.schema.relation(left)
+    right_schema = uwsdt.schema.relation(right)
+    if left_schema.attributes != right_schema.attributes:
+        raise SchemaError("union requires identical attribute lists")
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, left_schema.attributes))
+    for side in (left, right):
+        side_schema = uwsdt.schema.relation(side)
+        for tuple_id, values in list(uwsdt.template_rows(side)):
+            target_tid = (side, tuple_id)
+            uwsdt.add_template_tuple(target, target_tid, values)
+            placeholders = _placeholder_attrs(side_schema.attributes, values)
+            for attribute in placeholders:
+                source_field = FieldRef(side, tuple_id, attribute)
+                target_field = FieldRef(target, target_tid, attribute)
+                cid = uwsdt.component_of(source_field)
+                uwsdt.replace_component(
+                    cid, uwsdt.components[cid].ext(source_field, target_field)
+                )
+
+
+def product(uwsdt: UWSDT, left: str, right: str, target: str) -> None:
+    """Product ``T := R × S`` on a UWSDT (attribute sets must be disjoint)."""
+    left_schema = uwsdt.schema.relation(left)
+    right_schema = uwsdt.schema.relation(right)
+    target_schema = left_schema.concat(right_schema, target)
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, target_schema.attributes))
+    right_rows = list(uwsdt.template_rows(right))
+    for left_tid, left_values in list(uwsdt.template_rows(left)):
+        left_placeholders = _placeholder_attrs(left_schema.attributes, left_values)
+        for right_tid, right_values in right_rows:
+            right_placeholders = _placeholder_attrs(right_schema.attributes, right_values)
+            target_tid = (left_tid, right_tid)
+            uwsdt.add_template_tuple(target, target_tid, tuple(left_values) + tuple(right_values))
+            for attribute in left_placeholders:
+                source_field = FieldRef(left, left_tid, attribute)
+                cid = uwsdt.component_of(source_field)
+                uwsdt.replace_component(
+                    cid,
+                    uwsdt.components[cid].ext(
+                        source_field, FieldRef(target, target_tid, attribute)
+                    ),
+                )
+            for attribute in right_placeholders:
+                source_field = FieldRef(right, right_tid, attribute)
+                cid = uwsdt.component_of(source_field)
+                uwsdt.replace_component(
+                    cid,
+                    uwsdt.components[cid].ext(
+                        source_field, FieldRef(target, target_tid, attribute)
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Equi-join (the operator actually exercised by query Q5)
+# --------------------------------------------------------------------------- #
+
+
+def equi_join(
+    uwsdt: UWSDT,
+    left: str,
+    right: str,
+    left_attr: str,
+    right_attr: str,
+    target: str,
+) -> None:
+    """Equi-join ``T := R ⋈_{A=B} S`` on a UWSDT.
+
+    Pairs whose join attributes are both certain are matched with a hash
+    join on the templates.  Pairs involving an uncertain join attribute are
+    matched against the candidate values stored in the components, and the
+    resulting tuple's presence is conditioned on the join values agreeing —
+    the composition the paper describes for selections with condition
+    ``A θ B``.
+    """
+    left_schema = uwsdt.schema.relation(left)
+    right_schema = uwsdt.schema.relation(right)
+    target_schema = left_schema.concat(right_schema, target)
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, target_schema.attributes))
+
+    left_rows = list(uwsdt.template_rows(left))
+    right_rows = list(uwsdt.template_rows(right))
+    right_position = right_schema.position(right_attr)
+    left_position = left_schema.position(left_attr)
+
+    certain_index: Dict[Any, List[Tuple[Any, Tuple[Any, ...]]]] = {}
+    uncertain_right: List[Tuple[Any, Tuple[Any, ...], Set[Any]]] = []
+    for right_tid, right_values in right_rows:
+        join_value = right_values[right_position]
+        if is_placeholder(join_value):
+            field = FieldRef(right, right_tid, right_attr)
+            component = uwsdt.components[uwsdt.component_of(field)]
+            candidates = {v for v in component.column(field) if v is not BOTTOM}
+            uncertain_right.append((right_tid, right_values, candidates))
+        else:
+            certain_index.setdefault(join_value, []).append((right_tid, right_values))
+
+    def emit(
+        left_tid: Any,
+        left_values: Tuple[Any, ...],
+        right_tid: Any,
+        right_values: Tuple[Any, ...],
+        must_check: bool,
+    ) -> None:
+        target_tid = (left_tid, right_tid)
+        uwsdt.add_template_tuple(target, target_tid, tuple(left_values) + tuple(right_values))
+        left_placeholders = _placeholder_attrs(left_schema.attributes, left_values)
+        right_placeholders = _placeholder_attrs(right_schema.attributes, right_values)
+        for attribute in left_placeholders:
+            source_field = FieldRef(left, left_tid, attribute)
+            cid = uwsdt.component_of(source_field)
+            uwsdt.replace_component(
+                cid,
+                uwsdt.components[cid].ext(source_field, FieldRef(target, target_tid, attribute)),
+            )
+        for attribute in right_placeholders:
+            source_field = FieldRef(right, right_tid, attribute)
+            cid = uwsdt.component_of(source_field)
+            uwsdt.replace_component(
+                cid,
+                uwsdt.components[cid].ext(source_field, FieldRef(target, target_tid, attribute)),
+            )
+        if not must_check:
+            return
+        # Condition the result tuple on the join values agreeing.
+        check_fields = []
+        if is_placeholder(left_values[left_position]):
+            check_fields.append(FieldRef(target, target_tid, left_attr))
+        if is_placeholder(right_values[right_position]):
+            check_fields.append(FieldRef(target, target_tid, right_attr))
+        cid = _merge_target_components(uwsdt, check_fields)
+        component = uwsdt.components[cid]
+        failing = []
+        for row_index, row in enumerate(component.rows):
+            values = {}
+            deleted = False
+            for field in check_fields:
+                value = row[component.position(field)]
+                if value is BOTTOM:
+                    deleted = True
+                    break
+                values[field.attribute] = value
+            if deleted:
+                continue
+            left_value = values.get(left_attr, left_values[left_position])
+            right_value = values.get(right_attr, right_values[right_position])
+            if left_value != right_value:
+                failing.append(row_index)
+        if failing:
+            component = _mark_tuple_deleted(component, target, target_tid, failing)
+            component = component.propagate_bottom()
+            uwsdt.replace_component(cid, component)
+        if _tuple_deleted_everywhere(uwsdt.components[cid], target, target_tid):
+            placeholders = _placeholder_attrs(
+                target_schema.attributes, tuple(left_values) + tuple(right_values)
+            )
+            _drop_result_tuple(uwsdt, target, target_tid, placeholders)
+
+    for left_tid, left_values in left_rows:
+        left_join_value = left_values[left_position]
+        if not is_placeholder(left_join_value):
+            for right_tid, right_values in certain_index.get(left_join_value, ()):
+                emit(left_tid, left_values, right_tid, right_values, must_check=False)
+            for right_tid, right_values, candidates in uncertain_right:
+                if left_join_value in candidates:
+                    emit(left_tid, left_values, right_tid, right_values, must_check=True)
+        else:
+            field = FieldRef(left, left_tid, left_attr)
+            component = uwsdt.components[uwsdt.component_of(field)]
+            left_candidates = {v for v in component.column(field) if v is not BOTTOM}
+            matched_right: Set[Any] = set()
+            for value in left_candidates:
+                for right_tid, right_values in certain_index.get(value, ()):
+                    if right_tid in matched_right:
+                        continue
+                    matched_right.add(right_tid)
+                    emit(left_tid, left_values, right_tid, right_values, must_check=True)
+            for right_tid, right_values, candidates in uncertain_right:
+                if left_candidates & candidates:
+                    emit(left_tid, left_values, right_tid, right_values, must_check=True)
+
+
+# --------------------------------------------------------------------------- #
+# Difference
+# --------------------------------------------------------------------------- #
+
+
+def difference(uwsdt: UWSDT, left: str, right: str, target: str) -> None:
+    """Difference ``P := R − S`` on a UWSDT.
+
+    As in the paper, this is by far the most expensive operator: pairs of
+    possibly-equal tuples force component composition.  Certain/certain
+    pairs are resolved on the templates alone.
+    """
+    left_schema = uwsdt.schema.relation(left)
+    right_schema = uwsdt.schema.relation(right)
+    if left_schema.attributes != right_schema.attributes:
+        raise SchemaError("difference requires identical attribute lists")
+    if uwsdt.schema.has_relation(target):
+        raise SchemaError(f"relation {target!r} already exists")
+    uwsdt.add_relation(RelationSchema(target, left_schema.attributes))
+    attributes = left_schema.attributes
+    right_rows = list(uwsdt.template_rows(right))
+
+    for left_tid, left_values in list(uwsdt.template_rows(left)):
+        left_placeholders = _placeholder_attrs(attributes, left_values)
+        # A certain right tuple that is certainly equal removes the left tuple outright.
+        certainly_removed = False
+        conditional_matches: List[Tuple[Any, Tuple[Any, ...]]] = []
+        for right_tid, right_values in right_rows:
+            right_placeholders = _placeholder_attrs(attributes, right_values)
+            certain_mismatch = any(
+                (not is_placeholder(lv)) and (not is_placeholder(rv)) and lv != rv
+                for lv, rv in zip(left_values, right_values)
+            )
+            if certain_mismatch:
+                continue
+            right_presence_uncertain = _tuple_presence_uncertain(
+                uwsdt, right, right_tid, right_placeholders
+            )
+            if not left_placeholders and not right_placeholders and not right_presence_uncertain:
+                certainly_removed = True
+                break
+            conditional_matches.append((right_tid, right_values))
+        if certainly_removed:
+            continue
+
+        template_values = list(left_values)
+        if not left_placeholders and conditional_matches:
+            # The left tuple is fully certain but its membership in the result
+            # depends on uncertain right tuples: introduce a presence placeholder
+            # (the "exists column" device) on the first attribute.
+            presence_attr = attributes[0]
+            template_values[attributes.index(presence_attr)] = PLACEHOLDER
+            uwsdt.add_template_tuple(target, left_tid, template_values)
+            presence_field = FieldRef(target, left_tid, presence_attr)
+            uwsdt.new_component(
+                Component((presence_field,), [(left_values[attributes.index(presence_attr)],)], [1.0])
+            )
+            left_placeholders = [presence_attr]
+        else:
+            uwsdt.add_template_tuple(target, left_tid, template_values)
+            _copy_placeholder_fields(uwsdt, left, left_tid, target, left_tid, left_placeholders)
+        if not conditional_matches:
+            continue
+
+        for right_tid, right_values in conditional_matches:
+            right_placeholders = _placeholder_attrs(attributes, right_values)
+            target_fields = [FieldRef(target, left_tid, a) for a in left_placeholders]
+            right_fields = [FieldRef(right, right_tid, a) for a in right_placeholders]
+            involved = target_fields + right_fields
+            if not involved:
+                # Both tuples fully certain and equal, but the right tuple may be
+                # conditionally absent only if it had placeholders — it does not,
+                # so the left tuple is removed in all worlds.
+                _drop_result_tuple(uwsdt, target, left_tid, left_placeholders)
+                break
+            cid = _merge_target_components(uwsdt, involved) if involved else None
+            component = uwsdt.components[cid]
+            failing = []
+            for row_index, row in enumerate(component.rows):
+                assignment_left = dict(zip(attributes, left_values))
+                assignment_right = dict(zip(attributes, right_values))
+                deleted = False
+                for field in target_fields:
+                    value = row[component.position(field)]
+                    if value is BOTTOM:
+                        deleted = True
+                        break
+                    assignment_left[field.attribute] = value
+                if deleted:
+                    continue
+                right_present = True
+                for field in right_fields:
+                    value = row[component.position(field)]
+                    if value is BOTTOM:
+                        right_present = False
+                        break
+                    assignment_right[field.attribute] = value
+                if not right_present:
+                    continue
+                if all(assignment_left[a] == assignment_right[a] for a in attributes):
+                    failing.append(row_index)
+            if failing:
+                component = _mark_tuple_deleted(component, target, left_tid, failing)
+                component = component.propagate_bottom()
+                uwsdt.replace_component(cid, component)
+            if target_fields and _tuple_deleted_everywhere(
+                uwsdt.components[cid], target, left_tid
+            ):
+                _drop_result_tuple(uwsdt, target, left_tid, left_placeholders)
+                break
+
+
+def _tuple_presence_uncertain(
+    uwsdt: UWSDT, relation: str, tuple_id: Any, placeholders: Sequence[str]
+) -> bool:
+    """True iff the tuple may be absent in some world (some placeholder can be ``⊥``)."""
+    for attribute in placeholders:
+        field = FieldRef(relation, tuple_id, attribute)
+        cid = uwsdt.component_of(field)
+        if cid is None:
+            continue
+        if any(value is BOTTOM for value in uwsdt.components[cid].column(field)):
+            return True
+    return False

@@ -1,0 +1,480 @@
+"""Chasing dependencies on WSDs and UWSDTs — data cleaning (Section 8, Figure 24).
+
+Two classes of dependencies are supported, as in the paper:
+
+* functional dependencies  ``A1, ..., Am -> A0``,
+* single-tuple equality-generating dependencies
+  ``A1 θ1 c1 ∧ ... ∧ Am θm cm  ⇒  A0 θ0 c0``.
+
+Enforcing a dependency removes the worlds violating it: the components
+holding the involved fields are composed and the violating local worlds are
+deleted, with the probabilities of the surviving local worlds renormalized
+(``y' = y / (1 − x)`` accumulated over all removed mass).  If a component
+loses all its local worlds the world-set is inconsistent and
+:class:`~repro.relational.errors.InconsistentWorldSetError` is raised —
+the ``error("World-set is inconsistent")`` exit of Figure 24.
+
+The chase needs a single pass over dependencies and tuples (no fixpoint),
+because removing worlds can never introduce new violations.
+
+The UWSDT variant applies the refinement discussed in the paper: fields
+whose template value already decides a premise or conclusion never force a
+component composition, so with realistic placeholder densities almost all
+work happens on the template relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..relational.errors import InconsistentWorldSetError, RepresentationError
+from ..relational.predicates import compare
+from ..relational.values import BOTTOM, is_placeholder
+from .component import Component
+from .fields import FieldRef
+from .uwsdt import UWSDT
+from .wsd import WSD
+
+
+class FunctionalDependency:
+    """A functional dependency ``A1, ..., Am -> A0`` over one relation."""
+
+    def __init__(self, relation: str, determinants: Sequence[str], dependent: str) -> None:
+        if not determinants:
+            raise RepresentationError("a functional dependency needs at least one determinant")
+        self.relation = relation
+        self.determinants = tuple(determinants)
+        self.dependent = dependent
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.determinants + (self.dependent,)
+
+    def holds_for(self, left: Dict[str, Any], right: Dict[str, Any]) -> bool:
+        """Check the FD for one pair of tuples (given full value assignments)."""
+        if all(left[a] == right[a] for a in self.determinants):
+            return left[self.dependent] == right[self.dependent]
+        return True
+
+    def __repr__(self) -> str:
+        return f"FD({self.relation}: {', '.join(self.determinants)} -> {self.dependent})"
+
+
+class Comparison:
+    """An atom ``A θ c`` used in equality-generating dependencies."""
+
+    def __init__(self, attribute: str, op: str, constant: Any) -> None:
+        self.attribute = attribute
+        self.op = op
+        self.constant = constant
+
+    def evaluate(self, value: Any) -> bool:
+        return compare(value, self.op, self.constant)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} {self.op} {self.constant!r}"
+
+
+class EqualityGeneratingDependency:
+    """A single-tuple EGD ``φ1 ∧ ... ∧ φm ⇒ φ0`` over one relation."""
+
+    def __init__(self, relation: str, premises: Sequence[Comparison], conclusion: Comparison) -> None:
+        self.relation = relation
+        self.premises = tuple(premises)
+        self.conclusion = conclusion
+
+    def attributes(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for atom in list(self.premises) + [self.conclusion]:
+            if atom.attribute not in seen:
+                seen.append(atom.attribute)
+        return tuple(seen)
+
+    def holds_for(self, values: Dict[str, Any]) -> bool:
+        """Check the EGD for one tuple (given a full value assignment)."""
+        if all(premise.evaluate(values[premise.attribute]) for premise in self.premises):
+            return self.conclusion.evaluate(values[self.conclusion.attribute])
+        return True
+
+    def __repr__(self) -> str:
+        premises = " AND ".join(repr(p) for p in self.premises)
+        return f"EGD({self.relation}: {premises} => {self.conclusion!r})"
+
+
+Dependency = Any  # FunctionalDependency | EqualityGeneratingDependency
+
+
+# --------------------------------------------------------------------------- #
+# Chase on WSDs (Figure 24)
+# --------------------------------------------------------------------------- #
+
+
+def chase_wsd(wsd: WSD, dependencies: Iterable[Dependency]) -> WSD:
+    """Chase all ``dependencies`` on ``wsd`` in place (Figure 24); returns ``wsd``."""
+    for dependency in dependencies:
+        if isinstance(dependency, FunctionalDependency):
+            _chase_fd_wsd(wsd, dependency)
+        elif isinstance(dependency, EqualityGeneratingDependency):
+            _chase_egd_wsd(wsd, dependency)
+        else:
+            raise RepresentationError(f"unsupported dependency {dependency!r}")
+    return wsd
+
+
+def _filter_component(
+    wsd_or_none, component: Component, keep: Callable[[Tuple[Any, ...]], bool]
+) -> Component:
+    filtered = component.filter_rows(keep, renormalize=True)
+    if filtered is None:
+        raise InconsistentWorldSetError("World-set is inconsistent.")
+    return filtered
+
+
+def _chase_egd_wsd(wsd: WSD, dependency: EqualityGeneratingDependency) -> None:
+    relation = dependency.relation
+    attributes = dependency.attributes()
+    for tuple_id in wsd.tuple_ids.get(relation, ()):
+        fields = [FieldRef(relation, tuple_id, attribute) for attribute in attributes]
+        if not _egd_may_be_violated_wsd(wsd, dependency, tuple_id):
+            continue
+        component_index = wsd.merge_components_of(fields)
+        component = wsd.components[component_index]
+        positions = {attribute: component.position(field) for attribute, field in zip(attributes, fields)}
+
+        def keep(row: Tuple[Any, ...]) -> bool:
+            values = {attribute: row[positions[attribute]] for attribute in attributes}
+            if any(value is BOTTOM for value in values.values()):
+                return True
+            return dependency.holds_for(values)
+
+        wsd.replace_component(component_index, _filter_component(wsd, component, keep))
+
+
+def _egd_may_be_violated_wsd(
+    wsd: WSD, dependency: EqualityGeneratingDependency, tuple_id: Any
+) -> bool:
+    """Refinement: skip tuples where some premise is false (or the conclusion true) in all worlds."""
+    relation = dependency.relation
+    for premise in dependency.premises:
+        field = FieldRef(relation, tuple_id, premise.attribute)
+        component = wsd.component_for(field)
+        values = [v for v in component.column(field) if v is not BOTTOM]
+        if values and all(not premise.evaluate(v) for v in values):
+            return False
+    conclusion_field = FieldRef(relation, tuple_id, dependency.conclusion.attribute)
+    component = wsd.component_for(conclusion_field)
+    values = [v for v in component.column(conclusion_field) if v is not BOTTOM]
+    if values and all(dependency.conclusion.evaluate(v) for v in values):
+        return False
+    return True
+
+
+def _chase_fd_wsd(wsd: WSD, dependency: FunctionalDependency) -> None:
+    relation = dependency.relation
+    attributes = dependency.attributes()
+    tuple_ids = wsd.tuple_ids.get(relation, [])
+    for index, first in enumerate(tuple_ids):
+        for second in tuple_ids[index + 1 :]:
+            if not _fd_may_be_violated_wsd(wsd, dependency, first, second):
+                continue
+            # Refinement (Section 8): when the dependent values certainly differ,
+            # the dependency reduces to "the determinants must differ", so the
+            # dependent components stay unmerged (exactly Figure 3 / Figure 4).
+            dependents_differ = _values_certainly_differ_wsd(
+                wsd, relation, first, second, dependency.dependent
+            )
+            involved_attributes = (
+                dependency.determinants if dependents_differ else attributes
+            )
+            fields = [
+                FieldRef(relation, first, attribute) for attribute in involved_attributes
+            ] + [FieldRef(relation, second, attribute) for attribute in involved_attributes]
+            component_index = wsd.merge_components_of(fields)
+            component = wsd.components[component_index]
+            first_positions = {
+                attribute: component.position(FieldRef(relation, first, attribute))
+                for attribute in involved_attributes
+            }
+            second_positions = {
+                attribute: component.position(FieldRef(relation, second, attribute))
+                for attribute in involved_attributes
+            }
+
+            def keep(row: Tuple[Any, ...]) -> bool:
+                left = {a: row[first_positions[a]] for a in involved_attributes}
+                right = {a: row[second_positions[a]] for a in involved_attributes}
+                if any(value is BOTTOM for value in left.values()) or any(
+                    value is BOTTOM for value in right.values()
+                ):
+                    return True
+                if dependents_differ:
+                    # The dependents differ in every world, so worlds where the
+                    # determinants agree are inconsistent.
+                    return not all(
+                        left[a] == right[a] for a in dependency.determinants
+                    )
+                return dependency.holds_for(left, right)
+
+            wsd.replace_component(component_index, _filter_component(wsd, component, keep))
+
+
+def _values_certainly_differ_wsd(
+    wsd: WSD, relation: str, first: Any, second: Any, attribute: str
+) -> bool:
+    """True iff the two fields take different values in every world."""
+    first_field = FieldRef(relation, first, attribute)
+    second_field = FieldRef(relation, second, attribute)
+    first_index = wsd.component_of(first_field)
+    second_index = wsd.component_of(second_field)
+    if first_index == second_index:
+        component = wsd.components[first_index]
+        first_position = component.position(first_field)
+        second_position = component.position(second_field)
+        return all(
+            row[first_position] is BOTTOM
+            or row[second_position] is BOTTOM
+            or row[first_position] != row[second_position]
+            for row in component.rows
+        )
+    first_values = _possible_values_wsd(wsd, relation, first, attribute)
+    second_values = _possible_values_wsd(wsd, relation, second, attribute)
+    return bool(first_values) and bool(second_values) and not (first_values & second_values)
+
+
+def _fd_may_be_violated_wsd(
+    wsd: WSD, dependency: FunctionalDependency, first: Any, second: Any
+) -> bool:
+    """Refinement: skip pairs that certainly agree on the dependent or certainly disagree on a determinant."""
+    relation = dependency.relation
+    for attribute in dependency.determinants:
+        if _values_certainly_differ_wsd(wsd, relation, first, second, attribute):
+            return False
+    first_dependent = _possible_values_wsd(wsd, relation, first, dependency.dependent)
+    second_dependent = _possible_values_wsd(wsd, relation, second, dependency.dependent)
+    if (
+        len(first_dependent) == 1
+        and first_dependent == second_dependent
+    ):
+        return False
+    return True
+
+
+def _possible_values_wsd(wsd: WSD, relation: str, tuple_id: Any, attribute: str) -> set:
+    field = FieldRef(relation, tuple_id, attribute)
+    component = wsd.component_for(field)
+    return {value for value in component.column(field) if value is not BOTTOM}
+
+
+# --------------------------------------------------------------------------- #
+# Chase on UWSDTs (the engine used for the Figure 26 experiments)
+# --------------------------------------------------------------------------- #
+
+
+def chase_uwsdt(uwsdt: UWSDT, dependencies: Iterable[Dependency]) -> UWSDT:
+    """Chase all ``dependencies`` on ``uwsdt`` in place; returns ``uwsdt``."""
+    for dependency in dependencies:
+        if isinstance(dependency, EqualityGeneratingDependency):
+            _chase_egd_uwsdt(uwsdt, dependency)
+        elif isinstance(dependency, FunctionalDependency):
+            _chase_fd_uwsdt(uwsdt, dependency)
+        else:
+            raise RepresentationError(f"unsupported dependency {dependency!r}")
+    return uwsdt
+
+
+def _chase_egd_uwsdt(uwsdt: UWSDT, dependency: EqualityGeneratingDependency) -> None:
+    relation = dependency.relation
+    relation_schema = uwsdt.schema.relation(relation)
+    attributes = dependency.attributes()
+    for attribute in attributes:
+        relation_schema.position(attribute)
+
+    for tuple_id, values in uwsdt.template_rows(relation):
+        value_map = dict(zip(relation_schema.attributes, values))
+        uncertain = [a for a in attributes if is_placeholder(value_map[a])]
+        if not uncertain:
+            if not dependency.holds_for({a: value_map[a] for a in attributes}):
+                raise InconsistentWorldSetError(
+                    f"certain tuple {tuple_id!r} of {relation!r} violates {dependency!r} "
+                    "in every world"
+                )
+            continue
+
+        # Refinement: skip if a premise is certainly false or the conclusion certainly true.
+        skip = False
+        for premise in dependency.premises:
+            value = value_map[premise.attribute]
+            if not is_placeholder(value) and not premise.evaluate(value):
+                skip = True
+                break
+            if is_placeholder(value):
+                possible_values = _possible_values_uwsdt(uwsdt, relation, tuple_id, premise.attribute)
+                if possible_values and all(not premise.evaluate(v) for v in possible_values):
+                    skip = True
+                    break
+        if not skip:
+            conclusion_value = value_map[dependency.conclusion.attribute]
+            if not is_placeholder(conclusion_value):
+                if dependency.conclusion.evaluate(conclusion_value):
+                    skip = True
+            else:
+                possible_values = _possible_values_uwsdt(
+                    uwsdt, relation, tuple_id, dependency.conclusion.attribute
+                )
+                if possible_values and all(
+                    dependency.conclusion.evaluate(v) for v in possible_values
+                ):
+                    skip = True
+        if skip:
+            continue
+
+        fields = [FieldRef(relation, tuple_id, a) for a in uncertain]
+        cid = uwsdt.merge_components([uwsdt.component_of(field) for field in fields])
+        component = uwsdt.components[cid]
+        positions = {a: component.position(FieldRef(relation, tuple_id, a)) for a in uncertain}
+
+        def keep(row: Tuple[Any, ...]) -> bool:
+            assignment = {a: value_map[a] for a in attributes if not is_placeholder(value_map[a])}
+            for a in uncertain:
+                value = row[positions[a]]
+                if value is BOTTOM:
+                    return True
+                assignment[a] = value
+            return dependency.holds_for(assignment)
+
+        filtered = component.filter_rows(keep, renormalize=True)
+        if filtered is None:
+            raise InconsistentWorldSetError("World-set is inconsistent.")
+        uwsdt.replace_component(cid, filtered)
+
+
+def _chase_fd_uwsdt(uwsdt: UWSDT, dependency: FunctionalDependency) -> None:
+    """FD chase on a UWSDT.
+
+    Tuples are grouped by the possible values of the determinant attributes
+    so that only pairs that may agree on the left-hand side are examined —
+    the practical observation of Section 9 that key constraints rarely force
+    large compositions.
+    """
+    relation = dependency.relation
+    relation_schema = uwsdt.schema.relation(relation)
+    attributes = dependency.attributes()
+    for attribute in attributes:
+        relation_schema.position(attribute)
+
+    rows = list(uwsdt.template_rows(relation))
+    buckets: Dict[Any, List[int]] = {}
+    entries: List[Tuple[Any, Dict[str, Any]]] = []
+    for index, (tuple_id, values) in enumerate(rows):
+        value_map = dict(zip(relation_schema.attributes, values))
+        entries.append((tuple_id, value_map))
+        for key in _determinant_keys(uwsdt, dependency, relation, tuple_id, value_map):
+            buckets.setdefault(key, []).append(index)
+
+    examined = set()
+    for indices in buckets.values():
+        for position, first_index in enumerate(indices):
+            for second_index in indices[position + 1 :]:
+                pair = (min(first_index, second_index), max(first_index, second_index))
+                if pair in examined:
+                    continue
+                examined.add(pair)
+                _chase_fd_pair_uwsdt(
+                    uwsdt, dependency, entries[pair[0]], entries[pair[1]]
+                )
+
+
+def _determinant_keys(
+    uwsdt: UWSDT,
+    dependency: FunctionalDependency,
+    relation: str,
+    tuple_id: Any,
+    value_map: Dict[str, Any],
+):
+    """All possible determinant value combinations of one tuple (for bucketing)."""
+    import itertools
+
+    per_attribute: List[List[Any]] = []
+    for attribute in dependency.determinants:
+        value = value_map[attribute]
+        if is_placeholder(value):
+            per_attribute.append(
+                sorted(
+                    _possible_values_uwsdt(uwsdt, relation, tuple_id, attribute),
+                    key=repr,
+                )
+            )
+        else:
+            per_attribute.append([value])
+    return [tuple(combo) for combo in itertools.product(*per_attribute)]
+
+
+def _chase_fd_pair_uwsdt(
+    uwsdt: UWSDT,
+    dependency: FunctionalDependency,
+    first_entry: Tuple[Any, Dict[str, Any]],
+    second_entry: Tuple[Any, Dict[str, Any]],
+) -> None:
+    relation = dependency.relation
+    attributes = dependency.attributes()
+    first_id, first_values = first_entry
+    second_id, second_values = second_entry
+
+    first_uncertain = [a for a in attributes if is_placeholder(first_values[a])]
+    second_uncertain = [a for a in attributes if is_placeholder(second_values[a])]
+    if not first_uncertain and not second_uncertain:
+        if not dependency.holds_for(
+            {a: first_values[a] for a in attributes}, {a: second_values[a] for a in attributes}
+        ):
+            raise InconsistentWorldSetError(
+                f"certain tuples {first_id!r} and {second_id!r} of {relation!r} "
+                f"violate {dependency!r} in every world"
+            )
+        return
+
+    # Refinement: certainly equal dependents cannot cause a violation.
+    if (
+        not is_placeholder(first_values[dependency.dependent])
+        and not is_placeholder(second_values[dependency.dependent])
+        and first_values[dependency.dependent] == second_values[dependency.dependent]
+    ):
+        return
+
+    fields = [FieldRef(relation, first_id, a) for a in first_uncertain] + [
+        FieldRef(relation, second_id, a) for a in second_uncertain
+    ]
+    cid = uwsdt.merge_components([uwsdt.component_of(field) for field in fields])
+    component = uwsdt.components[cid]
+    first_positions = {
+        a: component.position(FieldRef(relation, first_id, a)) for a in first_uncertain
+    }
+    second_positions = {
+        a: component.position(FieldRef(relation, second_id, a)) for a in second_uncertain
+    }
+
+    def keep(row: Tuple[Any, ...]) -> bool:
+        left = {a: first_values[a] for a in attributes if not is_placeholder(first_values[a])}
+        right = {a: second_values[a] for a in attributes if not is_placeholder(second_values[a])}
+        for a, position in first_positions.items():
+            value = row[position]
+            if value is BOTTOM:
+                return True
+            left[a] = value
+        for a, position in second_positions.items():
+            value = row[position]
+            if value is BOTTOM:
+                return True
+            right[a] = value
+        return dependency.holds_for(left, right)
+
+    filtered = component.filter_rows(keep, renormalize=True)
+    if filtered is None:
+        raise InconsistentWorldSetError("World-set is inconsistent.")
+    uwsdt.replace_component(cid, filtered)
+
+
+def _possible_values_uwsdt(uwsdt: UWSDT, relation: str, tuple_id: Any, attribute: str) -> set:
+    field = FieldRef(relation, tuple_id, attribute)
+    cid = uwsdt.component_of(field)
+    if cid is None:
+        return set()
+    return {value for value in uwsdt.components[cid].column(field) if value is not BOTTOM}

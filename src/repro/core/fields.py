@@ -1,0 +1,66 @@
+"""Field identifiers: the ``R.t.A`` triples used throughout the WSD machinery.
+
+A field identifier names the ``A``-field of tuple (position) ``t`` in
+database relation ``R`` — exactly the ``FID`` triples of the UWSDT schema
+``C[FID, LWID, VAL]`` (Section 3).  Tuple identifiers are opaque hashable
+values: plain integers for base relations, pairs for tuples produced by
+product (``t_ij``) or union (``(R, t_i)``), mirroring the construction in
+Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, NamedTuple, Tuple
+
+
+class FieldRef(NamedTuple):
+    """Identifier of one tuple field: ``(relation, tuple_id, attribute)``."""
+
+    relation: str
+    tuple_id: Any
+    attribute: str
+
+    def with_relation(self, relation: str) -> "FieldRef":
+        """Return the same field under another relation name (used by ``copy``)."""
+        return FieldRef(relation, self.tuple_id, self.attribute)
+
+    def with_tuple(self, tuple_id: Any) -> "FieldRef":
+        """Return the same field for another tuple identifier."""
+        return FieldRef(self.relation, tuple_id, self.attribute)
+
+    def with_attribute(self, attribute: str) -> "FieldRef":
+        """Return the same field for another attribute (used by renaming δ)."""
+        return FieldRef(self.relation, self.tuple_id, attribute)
+
+    def same_tuple(self, other: "FieldRef") -> bool:
+        """True iff both fields belong to the same tuple of the same relation."""
+        return self.relation == other.relation and self.tuple_id == other.tuple_id
+
+    def label(self) -> str:
+        """Human-readable ``R.t.A`` label used in tables and error messages."""
+        return f"{self.relation}.t{format_tuple_id(self.tuple_id)}.{self.attribute}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+def format_tuple_id(tuple_id: Any) -> str:
+    """Render structured tuple identifiers compactly (``(1, 2)`` -> ``"1_2"``)."""
+    if isinstance(tuple_id, tuple):
+        return "_".join(format_tuple_id(part) for part in tuple_id)
+    return str(tuple_id)
+
+
+def product_tuple_id(left_id: Any, right_id: Any) -> Tuple[Any, Any]:
+    """Tuple identifier ``t_ij`` of the product of tuples ``t_i`` and ``t_j`` (Fig. 9)."""
+    return (left_id, right_id)
+
+
+def union_tuple_id(source_relation: str, tuple_id: Any) -> Tuple[str, Any]:
+    """Tuple identifier ``(R, t_i)`` used by the union operator (Fig. 9)."""
+    return (source_relation, tuple_id)
+
+
+def fields_of_tuple(relation: str, tuple_id: Any, attributes: Iterable[str]) -> Tuple[FieldRef, ...]:
+    """All field identifiers of one tuple."""
+    return tuple(FieldRef(relation, tuple_id, attribute) for attribute in attributes)

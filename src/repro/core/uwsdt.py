@@ -1,0 +1,445 @@
+"""Uniform WSDs with template relations (UWSDTs) — the engine-grade representation.
+
+Section 3 of the paper introduces UWSDTs to avoid relations of arbitrary
+arity: all uncertain values are stored in a fixed-schema triple of relations
+
+* ``C[FID, LWID, VAL]``  — component values per field and local world,
+* ``F[FID, CID]``        — which component defines which field,
+* ``W[CID, LWID, PR]``   — local worlds of each component and their probability,
+
+plus one *template relation* ``R⁰`` per database relation, holding certain
+values and the ``?`` placeholder for uncertain fields.
+
+This class keeps the same information in an equivalent, faster-to-access
+layout: template relations are substrate :class:`~repro.relational.relation.Relation`
+objects keyed by a tuple-id column, and the C/F/W content is held as a
+dictionary of :class:`~repro.core.component.Component` objects indexed by
+component id.  :meth:`to_uniform_relations` materializes the exact
+fixed-schema relations of the paper (and :meth:`from_uniform_relations`
+reads them back), so the uniform encoding itself is also implemented and
+tested; the dictionary layout is an optimization the paper performs inside
+PostgreSQL with indexes on ``FID`` and ``CID``.
+
+Tuple presence semantics follow the WSD convention: a template tuple is
+present in a chosen world unless one of its placeholder fields takes the
+``⊥`` value in that world.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+from ..relational.values import BOTTOM, PLACEHOLDER, is_placeholder
+from ..worlds.orset import OrSetRelation, is_or_set
+from ..worlds.worldset import WorldSet
+from .component import Component
+from .fields import FieldRef
+from .wsd import WSD
+from .wsdt import WSDT
+
+#: Name of the tuple-id column added to template relations.
+TID = "__tid__"
+
+
+class UWSDT:
+    """A uniform world-set decomposition with template relations."""
+
+    def __init__(self, schema: Optional[DatabaseSchema] = None) -> None:
+        self.schema = schema or DatabaseSchema()
+        #: Template relations, one per represented relation, keyed by name.
+        self.templates: Dict[str, Relation] = {}
+        #: Components keyed by component id.
+        self.components: Dict[int, Component] = {}
+        #: Which component defines which placeholder field (the ``F`` relation).
+        self.field_to_cid: Dict[FieldRef, int] = {}
+        self._next_cid = 1
+        for relation_schema in self.schema:
+            self._init_template(relation_schema)
+
+    # ------------------------------------------------------------------ #
+    # Template and component plumbing
+    # ------------------------------------------------------------------ #
+
+    def _init_template(self, relation_schema: RelationSchema) -> None:
+        template_schema = RelationSchema(
+            relation_schema.name, (TID,) + relation_schema.attributes
+        )
+        self.templates[relation_schema.name] = Relation(template_schema)
+
+    def add_relation(self, relation_schema: RelationSchema) -> None:
+        """Declare a new (initially empty) represented relation."""
+        if self.schema.has_relation(relation_schema.name):
+            raise RepresentationError(f"relation {relation_schema.name!r} already present")
+        self.schema.add(relation_schema)
+        self._init_template(relation_schema)
+
+    def add_template_tuple(self, relation_name: str, tuple_id: Any, values: Sequence[Any]) -> None:
+        """Add one template tuple (values may include ``PLACEHOLDER``)."""
+        relation_schema = self.schema.relation(relation_name)
+        if len(values) != relation_schema.arity:
+            raise RepresentationError(
+                f"template tuple for {relation_name!r} has arity {len(values)}, "
+                f"expected {relation_schema.arity}"
+            )
+        self.templates[relation_name].insert((tuple_id,) + tuple(values))
+
+    def new_component(self, component: Component) -> int:
+        """Register a component and return its component id."""
+        cid = self._next_cid
+        self._next_cid += 1
+        self.components[cid] = component
+        for field in component.fields:
+            if field in self.field_to_cid:
+                raise RepresentationError(
+                    f"field {field.label()} already assigned to component {self.field_to_cid[field]}"
+                )
+            self.field_to_cid[field] = cid
+        return cid
+
+    def replace_component(self, cid: int, component: Component) -> None:
+        """Replace the component stored under ``cid`` (fields must be unchanged or extended)."""
+        old = self.components[cid]
+        for field in old.fields:
+            self.field_to_cid.pop(field, None)
+        self.components[cid] = component
+        for field in component.fields:
+            existing = self.field_to_cid.get(field)
+            if existing is not None and existing != cid:
+                raise RepresentationError(
+                    f"field {field.label()} already assigned to component {existing}"
+                )
+            self.field_to_cid[field] = cid
+
+    def remove_component(self, cid: int) -> None:
+        component = self.components.pop(cid)
+        for field in component.fields:
+            self.field_to_cid.pop(field, None)
+
+    def component_of(self, field: FieldRef) -> Optional[int]:
+        """Component id defining ``field`` (None for certain template fields)."""
+        return self.field_to_cid.get(field)
+
+    def merge_components(self, cids: Sequence[int]) -> int:
+        """Compose several components into one; return the surviving cid."""
+        unique = sorted(set(cids))
+        if len(unique) == 1:
+            return unique[0]
+        merged = self.components[unique[0]]
+        for cid in unique[1:]:
+            merged = merged.compose(self.components[cid])
+        for cid in unique[1:]:
+            self.remove_component(cid)
+        self.replace_component(unique[0], merged)
+        return unique[0]
+
+    def field_value(self, relation_name: str, tuple_id: Any, attribute: str) -> Any:
+        """Template value of a field (may be ``PLACEHOLDER``)."""
+        template = self.templates[relation_name]
+        position = template.schema.position(attribute)
+        tid_position = template.schema.position(TID)
+        for row in template:
+            if row[tid_position] == tuple_id:
+                return row[position]
+        raise RepresentationError(
+            f"tuple {tuple_id!r} not found in template of {relation_name!r}"
+        )
+
+    def template_rows(self, relation_name: str) -> Iterator[Tuple[Any, Tuple[Any, ...]]]:
+        """Yield ``(tuple_id, values)`` pairs of one template (values without the tid column)."""
+        template = self.templates[relation_name]
+        tid_position = template.schema.position(TID)
+        if tid_position == 0:
+            # The tid column is always stored first; slicing is much cheaper
+            # than filtering per field on wide (50-attribute) templates.
+            for row in template:
+                yield row[0], row[1:]
+            return
+        for row in template:
+            values = tuple(v for i, v in enumerate(row) if i != tid_position)
+            yield row[tid_position], values
+
+    # ------------------------------------------------------------------ #
+    # Statistics (the columns of Figure 27 / Figure 28)
+    # ------------------------------------------------------------------ #
+
+    def component_count(self) -> int:
+        """``#comp`` of Figure 27: number of components."""
+        return len(self.components)
+
+    def multi_placeholder_component_count(self) -> int:
+        """``#comp>1`` of Figure 27: components spanning more than one placeholder."""
+        return sum(1 for component in self.components.values() if component.arity > 1)
+
+    def component_relation_size(self) -> int:
+        """``|C|`` of Figure 27: rows of the uniform component relation ``C``."""
+        return sum(
+            component.arity * component.size for component in self.components.values()
+        )
+
+    def template_size(self, relation_name: Optional[str] = None) -> int:
+        """``|R|`` of Figure 27: number of template tuples."""
+        if relation_name is not None:
+            return len(self.templates[relation_name])
+        return sum(len(template) for template in self.templates.values())
+
+    def placeholder_count(self) -> int:
+        """Number of ``?`` fields across all templates."""
+        return len(self.field_to_cid)
+
+    def component_size_distribution(self) -> Dict[int, int]:
+        """Histogram ``placeholders-per-component -> count`` (Figure 28)."""
+        histogram: Dict[int, int] = {}
+        for component in self.components.values():
+            histogram[component.arity] = histogram.get(component.arity, 0) + 1
+        return histogram
+
+    def statistics(self) -> Dict[str, int]:
+        """All Figure 27 statistics in one dictionary."""
+        return {
+            "components": self.component_count(),
+            "components_gt1": self.multi_placeholder_component_count(),
+            "component_relation_size": self.component_relation_size(),
+            "template_size": self.template_size(),
+            "placeholders": self.placeholder_count(),
+        }
+
+    def validate(self) -> None:
+        """Check structural invariants (placeholder coverage, probability mass)."""
+        for relation_schema in self.schema:
+            template = self.templates[relation_schema.name]
+            tid_position = template.schema.position(TID)
+            for row in template:
+                tuple_id = row[tid_position]
+                for attribute in relation_schema.attributes:
+                    value = row[template.schema.position(attribute)]
+                    field = FieldRef(relation_schema.name, tuple_id, attribute)
+                    if is_placeholder(value):
+                        if field not in self.field_to_cid:
+                            raise RepresentationError(
+                                f"placeholder field {field.label()} has no component"
+                            )
+                    elif field in self.field_to_cid:
+                        raise RepresentationError(
+                            f"certain field {field.label()} should not be in a component"
+                        )
+        for cid, component in self.components.items():
+            component.validate()
+            for field in component.fields:
+                if self.field_to_cid.get(field) != cid:
+                    raise RepresentationError(
+                        f"field map out of sync for {field.label()} (component {cid})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_wsdt(cls, wsdt: WSDT) -> "UWSDT":
+        """Build a UWSDT from a WSDT (same templates, components get ids)."""
+        result = cls(DatabaseSchema(list(wsdt.schema)))
+        for relation_schema in wsdt.schema:
+            for tuple_id, fields in wsdt.templates[relation_schema.name].items():
+                values = tuple(fields[a] for a in relation_schema.attributes)
+                result.add_template_tuple(relation_schema.name, tuple_id, values)
+        for component in wsdt.components:
+            result.new_component(component)
+        return result
+
+    @classmethod
+    def from_wsd(cls, wsd: WSD) -> "UWSDT":
+        """Build a UWSDT from a WSD by first extracting templates."""
+        return cls.from_wsdt(WSDT.from_wsd(wsd))
+
+    @classmethod
+    def from_relation(cls, relation: Relation, probabilistic: bool = True) -> "UWSDT":
+        """A UWSDT of a fully certain relation (no placeholders at all)."""
+        result = cls(DatabaseSchema([relation.schema]))
+        for index, row in enumerate(relation, start=1):
+            result.add_template_tuple(relation.schema.name, index, row)
+        return result
+
+    @classmethod
+    def from_orset_relation(cls, orset: OrSetRelation, probabilistic: bool = True) -> "UWSDT":
+        """Direct linear encoding of an or-set relation (the census ingestion path).
+
+        Certain fields go straight to the template; each or-set field becomes
+        a one-placeholder component.  This avoids materializing the
+        field-per-component WSD for large relations.
+        """
+        result = cls(DatabaseSchema([orset.schema]))
+        for index, row in enumerate(orset.rows, start=1):
+            template_values: List[Any] = []
+            for attribute, value in zip(orset.schema.attributes, row):
+                if is_or_set(value):
+                    template_values.append(PLACEHOLDER)
+                else:
+                    template_values.append(value)
+            result.add_template_tuple(orset.schema.name, index, template_values)
+            for attribute, value in zip(orset.schema.attributes, row):
+                if is_or_set(value):
+                    field = FieldRef(orset.schema.name, index, attribute)
+                    if value.probabilities is not None:
+                        component = Component(
+                            (field,), [(v,) for v in value.values], list(value.probabilities)
+                        )
+                    elif probabilistic:
+                        component = Component.uniform(field, value.values)
+                    else:
+                        component = Component((field,), [(v,) for v in value.values], None)
+                    result.new_component(component)
+        return result
+
+    def to_wsdt(self) -> WSDT:
+        """Convert back to the (non-uniform) WSDT representation."""
+        templates: Dict[str, Dict[Any, Dict[str, Any]]] = {}
+        for relation_schema in self.schema:
+            template: Dict[Any, Dict[str, Any]] = {}
+            for tuple_id, values in self.template_rows(relation_schema.name):
+                template[tuple_id] = dict(zip(relation_schema.attributes, values))
+            templates[relation_schema.name] = template
+        return WSDT(
+            DatabaseSchema(list(self.schema)), templates, list(self.components.values())
+        )
+
+    def to_wsd(self) -> WSD:
+        """Convert to a plain WSD (singleton components for certain fields)."""
+        return self.to_wsdt().to_wsd()
+
+    def to_worldset(self, max_worlds: Optional[int] = 1_000_000) -> WorldSet:
+        """The represented set of possible worlds (``rep``)."""
+        return self.to_wsdt().to_worldset(max_worlds)
+
+    rep = to_worldset
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return all(component.is_probabilistic for component in self.components.values())
+
+    def copy(self) -> "UWSDT":
+        """Structural copy."""
+        result = UWSDT(DatabaseSchema(list(self.schema)))
+        for name, template in self.templates.items():
+            result.templates[name] = template.copy()
+        for cid, component in self.components.items():
+            result.components[cid] = Component(
+                component.fields, component.rows, component.probabilities
+            )
+        result.field_to_cid = dict(self.field_to_cid)
+        result._next_cid = self._next_cid
+        return result
+
+    # ------------------------------------------------------------------ #
+    # The paper's fixed-schema uniform relations
+    # ------------------------------------------------------------------ #
+
+    def to_uniform_relations(self) -> Dict[str, Relation]:
+        """Materialize the paper's fixed-schema relations ``C``, ``F`` and ``W``.
+
+        ``FID`` is flattened into three columns (``REL``, ``TID``, ``ATTR``) as
+        the paper's footnote 3 describes.
+        """
+        component_relation = Relation(
+            RelationSchema("C", ("REL", "TID", "ATTR", "LWID", "VAL"))
+        )
+        mapping_relation = Relation(RelationSchema("F", ("REL", "TID", "ATTR", "CID")))
+        world_relation = Relation(RelationSchema("W", ("CID", "LWID", "PR")))
+        for cid in sorted(self.components):
+            component = self.components[cid]
+            for field in component.fields:
+                mapping_relation.insert(
+                    (field.relation, field.tuple_id, field.attribute, cid)
+                )
+            for lwid in range(1, component.size + 1):
+                world_relation.insert((cid, lwid, component.probability(lwid - 1)))
+                row = component.rows[lwid - 1]
+                for field, value in zip(component.fields, row):
+                    component_relation.insert(
+                        (field.relation, field.tuple_id, field.attribute, lwid, value)
+                    )
+        return {"C": component_relation, "F": mapping_relation, "W": world_relation}
+
+    @classmethod
+    def from_uniform_relations(
+        cls,
+        schema: DatabaseSchema,
+        templates: Dict[str, Relation],
+        uniform: Dict[str, Relation],
+        probabilistic: bool = True,
+    ) -> "UWSDT":
+        """Rebuild a UWSDT from template relations plus the C/F/W relations."""
+        result = cls(DatabaseSchema(list(schema)))
+        for relation_schema in schema:
+            template = templates[relation_schema.name]
+            tid_position = template.schema.position(TID)
+            for row in template:
+                values = tuple(v for i, v in enumerate(row) if i != tid_position)
+                result.add_template_tuple(relation_schema.name, row[tid_position], values)
+
+        mapping = uniform["F"]
+        component_values = uniform["C"]
+        worlds = uniform["W"]
+
+        fields_per_cid: Dict[Any, List[FieldRef]] = {}
+        for rel, tid, attr, cid in mapping.rows:
+            fields_per_cid.setdefault(cid, []).append(FieldRef(rel, tid, attr))
+
+        probabilities_per_cid: Dict[Any, Dict[Any, float]] = {}
+        for cid, lwid, probability in worlds.rows:
+            probabilities_per_cid.setdefault(cid, {})[lwid] = probability
+
+        values_per_cid: Dict[Any, Dict[Any, Dict[FieldRef, Any]]] = {}
+        for rel, tid, attr, lwid, value in component_values.rows:
+            field = FieldRef(rel, tid, attr)
+            cid = None
+            for candidate, fields in fields_per_cid.items():
+                if field in fields:
+                    cid = candidate
+                    break
+            if cid is None:
+                raise RepresentationError(f"value for unmapped field {field.label()}")
+            values_per_cid.setdefault(cid, {}).setdefault(lwid, {})[field] = value
+
+        for cid, fields in fields_per_cid.items():
+            local_worlds = values_per_cid.get(cid, {})
+            lwids = sorted(local_worlds)
+            rows = []
+            probabilities = [] if probabilistic else None
+            for lwid in lwids:
+                assignment = local_worlds[lwid]
+                rows.append(tuple(assignment.get(field, BOTTOM) for field in fields))
+                if probabilities is not None:
+                    probabilities.append(probabilities_per_cid.get(cid, {}).get(lwid, 0.0))
+            result.new_component(Component(tuple(fields), rows, probabilities))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Decoding helpers shared by rep(), possible() and the benchmarks
+    # ------------------------------------------------------------------ #
+
+    def certain_world(self) -> Database:
+        """The single world obtained by ignoring uncertainty (placeholders dropped).
+
+        Used as the "one world, 0 % density" baseline of Figure 30: when the
+        representation has no placeholders this *is* the represented world.
+        """
+        database = Database()
+        for relation_schema in self.schema:
+            relation = Relation(relation_schema)
+            for tuple_id, values in self.template_rows(relation_schema.name):
+                if any(is_placeholder(v) for v in values):
+                    continue
+                relation.insert(values)
+            database.add(relation)
+        return database
+
+    def __repr__(self) -> str:
+        return (
+            f"UWSDT(relations {list(self.schema.relation_names)!r}, "
+            f"{self.template_size()} template tuples, {self.component_count()} components)"
+        )

@@ -1,0 +1,24 @@
+"""v-tables and c-tables (Imielinski & Lipski 1984).
+
+The classical strong representation system the paper builds on: WSDTs "can
+be naturally viewed as c-tables where the body corresponds to the template
+relation and whose formulas have been put into a normal form represented by
+the component relations" (Section 1).  This subpackage implements v-tables,
+c-tables with global conditions, their possible-worlds semantics, and the
+WSDT → c-table conversion of that remark.
+"""
+
+from .ctable import CTable, Conjunction, Disjunction, Equality, Formula, TrueFormula, VTable, Variable
+from .convert import wsdt_to_ctable
+
+__all__ = [
+    "CTable",
+    "Conjunction",
+    "Disjunction",
+    "Equality",
+    "Formula",
+    "TrueFormula",
+    "VTable",
+    "Variable",
+    "wsdt_to_ctable",
+]

@@ -1,0 +1,114 @@
+"""WSDT → c-table conversion (the correspondence sketched in Section 1).
+
+A WSDT maps to an equivalent c-table as follows:
+
+* the template relation becomes the body of the c-table, with a fresh
+  variable for every ``?`` placeholder,
+* every component becomes one disjunction — one disjunct per local world —
+  equating the variables of the component's fields with the local world's
+  values; the global condition is the conjunction of these disjunctions,
+* a local world marking a tuple as deleted (``⊥`` values) contributes the
+  corresponding tuple-presence restriction through the tuple's local
+  condition.
+
+For WSDTs whose components never use ``⊥`` (no conditional tuples), the
+construction matches the example c-table of the introduction exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.component import Component
+from ..core.fields import FieldRef
+from ..core.wsdt import WSDT
+from ..relational.errors import ConversionError
+from ..relational.schema import RelationSchema
+from ..relational.values import BOTTOM, PLACEHOLDER
+from .ctable import Conjunction, CTable, Disjunction, Equality, Formula, TrueFormula, Variable
+
+
+def _variable_for(field: FieldRef) -> Variable:
+    return Variable(field.label())
+
+
+def wsdt_to_ctable(wsdt: WSDT, relation_name: str) -> CTable:
+    """Convert one relation of a WSDT into an equivalent c-table.
+
+    Raises :class:`ConversionError` if the WSDT spans several relations with
+    correlations crossing into ``relation_name`` — the c-table formalism used
+    here describes a single relation.
+    """
+    relation_schema = wsdt.schema.relation(relation_name)
+    template = wsdt.templates[relation_name]
+
+    rows: List[Tuple[Any, ...]] = []
+    local_conditions: List[Formula] = []
+    domains: Dict[Variable, List[Any]] = {}
+    global_parts: List[Formula] = []
+
+    # Body: template tuples with variables for placeholders.
+    tuple_presence_vars: Dict[Any, List[Variable]] = {}
+    for tuple_id, fields in template.items():
+        row = []
+        for attribute in relation_schema.attributes:
+            value = fields[attribute]
+            if value is PLACEHOLDER:
+                variable = _variable_for(FieldRef(relation_name, tuple_id, attribute))
+                row.append(variable)
+                tuple_presence_vars.setdefault(tuple_id, []).append(variable)
+            else:
+                row.append(value)
+        rows.append(tuple(row))
+        local_conditions.append(TrueFormula())
+
+    # Conditions: one disjunction per component.
+    for component in wsdt.components:
+        foreign = [f for f in component.fields if f.relation != relation_name]
+        if foreign:
+            raise ConversionError(
+                f"component touches relation(s) other than {relation_name!r}: "
+                f"{[f.label() for f in foreign]!r}"
+            )
+        disjuncts: List[Formula] = []
+        for row in component.rows:
+            equalities: List[Formula] = []
+            usable = True
+            for field, value in zip(component.fields, row):
+                variable = _variable_for(field)
+                if value is BOTTOM:
+                    # A deleted tuple cannot be expressed as a value equation;
+                    # encode it by making the local world unusable for this
+                    # simple fragment.  (WSDTs produced from or-set style data
+                    # and the chase never contain ⊥ local worlds.)
+                    usable = False
+                    break
+                equalities.append(Equality(variable, value))
+                domains.setdefault(variable, [])
+                if value not in domains[variable]:
+                    domains[variable].append(value)
+            if usable:
+                disjuncts.append(
+                    equalities[0] if len(equalities) == 1 else Conjunction(equalities)
+                )
+        if not disjuncts:
+            raise ConversionError(
+                "component has only ⊥ local worlds and cannot be converted"
+            )
+        global_parts.append(disjuncts[0] if len(disjuncts) == 1 else Disjunction(disjuncts))
+
+    global_condition: Formula
+    if not global_parts:
+        global_condition = TrueFormula()
+    elif len(global_parts) == 1:
+        global_condition = global_parts[0]
+    else:
+        global_condition = Conjunction(global_parts)
+
+    return CTable(
+        RelationSchema(relation_name, relation_schema.attributes),
+        rows,
+        domains,
+        local_conditions,
+        global_condition,
+    )

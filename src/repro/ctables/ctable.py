@@ -1,0 +1,270 @@
+"""v-tables and c-tables with their possible-worlds semantics.
+
+A *v-table* is a relation whose fields may contain variables; every valuation
+of the variables (over given finite variable domains) yields a possible
+world.  A *c-table* additionally attaches a local condition to every tuple
+and a global condition to the table: a tuple belongs to the world of a
+valuation iff the valuation satisfies both the global condition and the
+tuple's local condition.
+
+The formula language implemented here is the fragment the paper needs for
+the WSDT correspondence: equalities between a variable and a constant (or
+another variable), conjunction and disjunction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..relational.database import Database
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+from ..worlds.worldset import WorldSet
+
+
+class Variable:
+    """A named variable occurring in a v-table or c-table."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def is_variable(value: Any) -> bool:
+    return isinstance(value, Variable)
+
+
+# --------------------------------------------------------------------------- #
+# Conditions
+# --------------------------------------------------------------------------- #
+
+
+class Formula:
+    """Base class of c-table conditions."""
+
+    def evaluate(self, valuation: Mapping[Variable, Any]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> Set[Variable]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Conjunction":
+        return Conjunction([self, other])
+
+    def __or__(self, other: "Formula") -> "Disjunction":
+        return Disjunction([self, other])
+
+
+class TrueFormula(Formula):
+    """The always-true condition."""
+
+    def evaluate(self, valuation: Mapping[Variable, Any]) -> bool:
+        return True
+
+    def variables(self) -> Set[Variable]:
+        return set()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Equality(Formula):
+    """An equality ``x = value`` or ``x = y`` (or the corresponding inequality)."""
+
+    def __init__(self, left: Variable, right: Any, negated: bool = False) -> None:
+        self.left = left
+        self.right = right
+        self.negated = negated
+
+    def evaluate(self, valuation: Mapping[Variable, Any]) -> bool:
+        left_value = valuation[self.left]
+        right_value = valuation[self.right] if is_variable(self.right) else self.right
+        return (left_value != right_value) if self.negated else (left_value == right_value)
+
+    def variables(self) -> Set[Variable]:
+        result = {self.left}
+        if is_variable(self.right):
+            result.add(self.right)
+        return result
+
+    def __repr__(self) -> str:
+        op = "≠" if self.negated else "="
+        return f"({self.left!r} {op} {self.right!r})"
+
+
+class Conjunction(Formula):
+    """A conjunction of conditions."""
+
+    def __init__(self, parts: Sequence[Formula]) -> None:
+        self.parts = list(parts)
+
+    def evaluate(self, valuation: Mapping[Variable, Any]) -> bool:
+        return all(part.evaluate(valuation) for part in self.parts)
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+class Disjunction(Formula):
+    """A disjunction of conditions."""
+
+    def __init__(self, parts: Sequence[Formula]) -> None:
+        self.parts = list(parts)
+
+    def evaluate(self, valuation: Mapping[Variable, Any]) -> bool:
+        return any(part.evaluate(valuation) for part in self.parts)
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+# --------------------------------------------------------------------------- #
+# v-tables
+# --------------------------------------------------------------------------- #
+
+
+class VTable:
+    """A v-table: a relation whose fields may be variables.
+
+    ``domains`` gives the finite set of values each variable ranges over,
+    keeping the semantics a *finite* set of worlds as assumed by the paper.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        domains: Optional[Mapping[Variable, Sequence[Any]]] = None,
+    ) -> None:
+        self.schema = schema
+        self.rows: List[Tuple[Any, ...]] = [tuple(row) for row in rows]
+        self.domains: Dict[Variable, List[Any]] = {
+            variable: list(values) for variable, values in (domains or {}).items()
+        }
+
+    def variables(self) -> Set[Variable]:
+        found: Set[Variable] = set()
+        for row in self.rows:
+            for value in row:
+                if is_variable(value):
+                    found.add(value)
+        return found
+
+    def _check_domains(self) -> None:
+        missing = [v for v in self.variables() if v not in self.domains]
+        if missing:
+            raise RepresentationError(
+                f"variables without a domain: {[v.name for v in missing]!r}"
+            )
+
+    def valuations(self) -> Iterable[Dict[Variable, Any]]:
+        """All valuations of the variables over their domains."""
+        self._check_domains()
+        variables = sorted(self.variables(), key=lambda v: v.name)
+        if not variables:
+            yield {}
+            return
+        for combination in itertools.product(*[self.domains[v] for v in variables]):
+            yield dict(zip(variables, combination))
+
+    def instantiate(self, valuation: Mapping[Variable, Any]) -> Relation:
+        """The relation obtained under one valuation."""
+        relation = Relation(self.schema)
+        for row in self.rows:
+            relation.insert(
+                tuple(valuation[value] if is_variable(value) else value for value in row)
+            )
+        return relation
+
+    def to_worldset(self) -> WorldSet:
+        """All possible worlds of the v-table."""
+        result = WorldSet()
+        for valuation in self.valuations():
+            result.add(Database([self.instantiate(valuation)]))
+        return result
+
+    def __repr__(self) -> str:
+        return f"VTable({self.schema.name!r}, {len(self.rows)} rows, {len(self.variables())} variables)"
+
+
+# --------------------------------------------------------------------------- #
+# c-tables
+# --------------------------------------------------------------------------- #
+
+
+class CTable(VTable):
+    """A c-table: a v-table with per-tuple local conditions and a global condition."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        domains: Optional[Mapping[Variable, Sequence[Any]]] = None,
+        local_conditions: Optional[Sequence[Formula]] = None,
+        global_condition: Optional[Formula] = None,
+    ) -> None:
+        super().__init__(schema, rows, domains)
+        if local_conditions is None:
+            local_conditions = [TrueFormula() for _ in self.rows]
+        if len(local_conditions) != len(self.rows):
+            raise RepresentationError("local conditions must parallel the rows")
+        self.local_conditions: List[Formula] = list(local_conditions)
+        self.global_condition: Formula = global_condition or TrueFormula()
+
+    def variables(self) -> Set[Variable]:
+        found = super().variables()
+        found |= self.global_condition.variables()
+        for condition in self.local_conditions:
+            found |= condition.variables()
+        return found
+
+    def instantiate(self, valuation: Mapping[Variable, Any]) -> Relation:
+        relation = Relation(self.schema)
+        for row, condition in zip(self.rows, self.local_conditions):
+            if not condition.evaluate(valuation):
+                continue
+            relation.insert(
+                tuple(valuation[value] if is_variable(value) else value for value in row)
+            )
+        return relation
+
+    def to_worldset(self) -> WorldSet:
+        """All possible worlds: valuations satisfying the global condition."""
+        result = WorldSet()
+        for valuation in self.valuations():
+            if not self.global_condition.evaluate(valuation):
+                continue
+            result.add(Database([self.instantiate(valuation)]))
+        if len(result) == 0:
+            raise RepresentationError("c-table has an unsatisfiable global condition")
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CTable({self.schema.name!r}, {len(self.rows)} rows, "
+            f"{len(self.variables())} variables)"
+        )

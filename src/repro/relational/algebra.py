@@ -1,0 +1,181 @@
+"""Classical relational algebra on in-memory relations.
+
+These operators are the "single world" semantics that the paper's WSD
+operators must agree with on every possible world (Theorem 1).  They are
+used in three places:
+
+* as the substrate for evaluating template-relation plans in UWSDT query
+  processing (Section 5),
+* as the correctness oracle in tests: the naive baseline enumerates every
+  world, evaluates the query with these operators, and compares against
+  the WSD-level evaluation,
+* as the one-world / 0 %-density baseline in the Figure 30 benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from .errors import SchemaError
+from .predicates import Predicate
+from .relation import Relation, require_same_attributes
+from .schema import RelationSchema
+
+
+def select(relation: Relation, predicate: Predicate, name: Optional[str] = None) -> Relation:
+    """Selection ``σ_pred(R)``: keep the rows satisfying ``predicate``."""
+    result = Relation(relation.schema.renamed(name or relation.schema.name))
+    check = predicate.compile(relation.schema)
+    for row in relation:
+        if check(row):
+            result.insert(row)
+    return result
+
+
+def project(relation: Relation, attributes: Sequence[str], name: Optional[str] = None) -> Relation:
+    """Projection ``π_U(R)`` with set semantics (duplicates removed)."""
+    schema = relation.schema.project(attributes, name or relation.schema.name)
+    positions = relation.schema.positions(attributes)
+    result = Relation(schema)
+    for row in relation:
+        result.insert(tuple(row[p] for p in positions))
+    return result
+
+
+def product(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Cartesian product ``R × S``; attribute sets must be disjoint."""
+    schema = left.schema.concat(right.schema, name)
+    result = Relation(schema)
+    for lrow in left:
+        for rrow in right:
+            result.insert(lrow + rrow)
+    return result
+
+
+def union(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Union ``R ∪ S`` of union-compatible relations."""
+    require_same_attributes(left, right, "union")
+    result = Relation(left.schema.renamed(name or left.schema.name))
+    for row in left:
+        result.insert(row)
+    for row in right:
+        result.insert(row)
+    return result
+
+
+def difference(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Difference ``R − S`` of union-compatible relations."""
+    require_same_attributes(left, right, "difference")
+    result = Relation(left.schema.renamed(name or left.schema.name))
+    right_rows = right.row_set()
+    for row in left:
+        if row not in right_rows:
+            result.insert(row)
+    return result
+
+
+def intersection(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Intersection ``R ∩ S`` (derived operator)."""
+    require_same_attributes(left, right, "intersection")
+    result = Relation(left.schema.renamed(name or left.schema.name))
+    right_rows = right.row_set()
+    for row in left:
+        if row in right_rows:
+            result.insert(row)
+    return result
+
+
+def rename(relation: Relation, old: str, new: str, name: Optional[str] = None) -> Relation:
+    """Attribute renaming ``δ_{A→A'}(R)``."""
+    schema = relation.schema.rename_attribute(old, new, name or relation.schema.name)
+    result = Relation(schema)
+    for row in relation:
+        result.insert(row)
+    return result
+
+
+def rename_relation(relation: Relation, name: str) -> Relation:
+    """Return the same rows under a new relation name."""
+    return relation.copy(name)
+
+
+def natural_join(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Natural join on the shared attributes of ``left`` and ``right``.
+
+    Provided as a convenience for examples and the application scenarios;
+    the paper expresses joins as product + selection + projection.
+    """
+    shared = [a for a in left.schema.attributes if right.schema.has_attribute(a)]
+    right_only = [a for a in right.schema.attributes if a not in shared]
+    schema = RelationSchema(
+        name or f"{left.schema.name}_join_{right.schema.name}",
+        tuple(left.schema.attributes) + tuple(right_only),
+    )
+    result = Relation(schema)
+    if not shared:
+        for lrow in left:
+            for rrow in right:
+                result.insert(lrow + rrow)
+        return result
+
+    left_positions = left.schema.positions(shared)
+    right_positions = right.schema.positions(shared)
+    right_only_positions = right.schema.positions(right_only)
+    index: Dict[Tuple[Any, ...], list] = {}
+    for rrow in right:
+        key = tuple(rrow[p] for p in right_positions)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(lrow[p] for p in left_positions)
+        for rrow in index.get(key, ()):
+            result.insert(lrow + tuple(rrow[p] for p in right_only_positions))
+    return result
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    left_attr: str,
+    right_attr: str,
+    name: Optional[str] = None,
+) -> Relation:
+    """Equi-join ``R ⋈_{A=B} S`` implemented with a hash join.
+
+    Attribute sets must be disjoint (use :func:`rename` first otherwise).
+    """
+    schema = left.schema.concat(right.schema, name)
+    result = Relation(schema)
+    left_pos = left.schema.position(left_attr)
+    right_pos = right.schema.position(right_attr)
+    index: Dict[Any, list] = {}
+    for rrow in right:
+        index.setdefault(rrow[right_pos], []).append(rrow)
+    for lrow in left:
+        for rrow in index.get(lrow[left_pos], ()):
+            result.insert(lrow + rrow)
+    return result
+
+
+def group_count(relation: Relation, attributes: Sequence[str], count_as: str = "count") -> Relation:
+    """Group by ``attributes`` and count rows per group (used by the bench harness)."""
+    if count_as in attributes:
+        raise SchemaError(f"count column {count_as!r} clashes with a grouping attribute")
+    positions = relation.schema.positions(attributes)
+    counts: Dict[Tuple[Any, ...], int] = {}
+    for row in relation:
+        key = tuple(row[p] for p in positions)
+        counts[key] = counts.get(key, 0) + 1
+    schema = RelationSchema(relation.schema.name, tuple(attributes) + (count_as,))
+    result = Relation(schema)
+    for key, count in counts.items():
+        result.insert(key + (count,))
+    return result
+
+
+def aggregate(
+    relation: Relation,
+    attribute: str,
+    function: Callable[[Iterable[Any]], Any],
+) -> Any:
+    """Apply an aggregate ``function`` to one column (e.g. ``sum``, ``max``)."""
+    return function(relation.column(attribute))

@@ -1,0 +1,100 @@
+"""CSV import/export for relations.
+
+The census experiments load the (synthetic) IPUMS extract from disk; these
+helpers provide the corresponding load/save path.  Values are written as
+strings; an optional ``types`` mapping converts columns back to ints/floats
+on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from .errors import SchemaError
+from .relation import Relation
+from .schema import RelationSchema
+from .values import BOTTOM, PLACEHOLDER
+
+#: Textual encodings of the special markers in CSV files.
+_BOTTOM_TOKEN = "__BOTTOM__"
+_PLACEHOLDER_TOKEN = "__PLACEHOLDER__"
+
+PathLike = Union[str, Path]
+
+
+def save_relation(relation: Relation, path: PathLike) -> None:
+    """Write ``relation`` to ``path`` as a CSV file with a header row."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        for row in relation:
+            writer.writerow([_encode(value) for value in row])
+
+
+def load_relation(
+    path: PathLike,
+    name: Optional[str] = None,
+    types: Optional[Mapping[str, Callable[[str], Any]]] = None,
+) -> Relation:
+    """Read a CSV file (with a header row) into a relation.
+
+    Parameters
+    ----------
+    path:
+        CSV file to read.
+    name:
+        Relation name; defaults to the file stem.
+    types:
+        Optional mapping ``attribute -> converter`` applied to each value
+        (e.g. ``{"AGE": int}``).  Attributes not mentioned stay strings.
+    """
+    source = Path(path)
+    relation_name = name or source.stem
+    with source.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {source} is empty (no header row)") from None
+        schema = RelationSchema(relation_name, header)
+        converters: Dict[int, Callable[[str], Any]] = {}
+        if types:
+            for attribute, converter in types.items():
+                converters[schema.position(attribute)] = converter
+        relation = Relation(schema)
+        for raw in reader:
+            if len(raw) != schema.arity:
+                raise SchemaError(
+                    f"row {raw!r} in {source} has {len(raw)} fields, expected {schema.arity}"
+                )
+            values = []
+            for position, text in enumerate(raw):
+                decoded = _decode(text)
+                if decoded is BOTTOM or decoded is PLACEHOLDER:
+                    values.append(decoded)
+                elif position in converters:
+                    values.append(converters[position](decoded))
+                else:
+                    values.append(decoded)
+            relation.insert(tuple(values))
+    return relation
+
+
+def _encode(value: Any) -> str:
+    if value is BOTTOM:
+        return _BOTTOM_TOKEN
+    if value is PLACEHOLDER:
+        return _PLACEHOLDER_TOKEN
+    return str(value)
+
+
+def _decode(text: str) -> Any:
+    if text == _BOTTOM_TOKEN:
+        return BOTTOM
+    if text == _PLACEHOLDER_TOKEN:
+        return PLACEHOLDER
+    return text

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the relational substrate and the WSD layers.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything from this package with a single ``except``
+clause while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation or database schema is malformed or used inconsistently.
+
+    Examples: duplicate attribute names, projecting on an attribute that
+    does not exist, taking the product of relations with overlapping
+    attribute sets.
+    """
+
+
+class UnknownAttributeError(SchemaError):
+    """An operation referenced an attribute that the schema does not define."""
+
+    def __init__(self, attribute: str, available: tuple) -> None:
+        super().__init__(
+            f"unknown attribute {attribute!r}; available attributes: {list(available)!r}"
+        )
+        self.attribute = attribute
+        self.available = tuple(available)
+
+
+class UnknownRelationError(SchemaError):
+    """A database was asked for a relation name it does not contain."""
+
+    def __init__(self, name: str, available: tuple) -> None:
+        super().__init__(
+            f"unknown relation {name!r}; available relations: {list(available)!r}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+
+class ArityError(SchemaError):
+    """A tuple's arity does not match the arity of its relation schema."""
+
+
+class PredicateError(ReproError):
+    """A selection predicate is malformed or cannot be evaluated on a tuple."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra query is malformed (unknown operator, bad plan)."""
+
+
+class RepresentationError(ReproError):
+    """An incomplete-information representation is internally inconsistent.
+
+    Raised, for instance, when a WSD component defines the same field twice,
+    when component probabilities do not sum to one, or when a UWSDT's
+    mapping relation references a component that has no local worlds.
+    """
+
+
+class InconsistentWorldSetError(ReproError):
+    """Data cleaning removed every possible world.
+
+    Mirrors the ``error("World-set is inconsistent")`` exit of the chase
+    algorithm in Figure 24 of the paper.
+    """
+
+
+class ConversionError(ReproError):
+    """A conversion between representation systems failed."""

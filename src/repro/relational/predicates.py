@@ -1,0 +1,294 @@
+"""Selection predicates for the relational algebra.
+
+The paper's selection operator supports conditions of the forms ``A θ c``
+(attribute compared to a constant) and ``A θ B`` (attribute compared to an
+attribute), where ``θ`` is one of ``=, ≠, <, ≤, >, ≥``.  We additionally
+provide boolean combinators so that the census queries (Figure 29), which
+use conjunctions and disjunctions, can be expressed as single selections.
+
+Predicates are evaluated against a (schema, row) pair.  For repeated
+evaluation over the rows of one relation, :meth:`Predicate.compile` returns
+a closure bound to attribute positions, avoiding repeated name lookups.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+from .errors import PredicateError
+from .schema import RelationSchema
+from .values import BOTTOM, is_domain_value
+
+#: Comparison operators supported by ``θ`` in the paper.
+COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def comparator(symbol: str) -> Callable[[Any, Any], bool]:
+    """Return the comparison function for a ``θ`` symbol."""
+    try:
+        return COMPARATORS[symbol]
+    except KeyError:
+        raise PredicateError(
+            f"unknown comparison operator {symbol!r}; expected one of {sorted(COMPARATORS)}"
+        ) from None
+
+
+def compare(left: Any, symbol: str, right: Any) -> bool:
+    """Evaluate ``left θ right``.
+
+    Comparisons involving the ``⊥`` marker are always false: a deleted tuple
+    never satisfies a selection condition.  Comparisons between incompatible
+    types (e.g. a string column compared to an int constant) are false for
+    ordering operators rather than raising, mirroring SQL's permissive
+    casting in the paper's PostgreSQL prototype.
+    """
+    if left is BOTTOM or right is BOTTOM:
+        return False
+    op = comparator(symbol)
+    try:
+        return bool(op(left, right))
+    except TypeError:
+        if symbol in ("=", "=="):
+            return False
+        if symbol in ("!=", "<>"):
+            return True
+        return False
+
+
+class Predicate:
+    """Base class of selection predicates."""
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        """Return True iff the row satisfies the predicate."""
+        raise NotImplementedError
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        """Return a fast row-level evaluator bound to ``schema``."""
+        return lambda row: self.evaluate(schema, row)
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Return the attributes referenced by the predicate (with duplicates removed)."""
+        seen = []
+        for attr in self._referenced():
+            if attr not in seen:
+                seen.append(attr)
+        return tuple(seen)
+
+    def _referenced(self) -> Iterable[str]:
+        raise NotImplementedError
+
+    # Combinators ------------------------------------------------------- #
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class AttrConst(Predicate):
+    """Condition ``A θ c``: attribute compared with a constant."""
+
+    __slots__ = ("attribute", "op", "constant")
+
+    def __init__(self, attribute: str, op: str, constant: Any) -> None:
+        comparator(op)  # validate eagerly
+        self.attribute = attribute
+        self.op = op
+        self.constant = constant
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        return compare(row[schema.position(self.attribute)], self.op, self.constant)
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        pos = schema.position(self.attribute)
+        op, constant = self.op, self.constant
+        return lambda row: compare(row[pos], op, constant)
+
+    def _referenced(self) -> Iterable[str]:
+        return (self.attribute,)
+
+    def __repr__(self) -> str:
+        return f"({self.attribute} {self.op} {self.constant!r})"
+
+
+class AttrAttr(Predicate):
+    """Condition ``A θ B``: attribute compared with another attribute."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: str, op: str, right: str) -> None:
+        comparator(op)
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        return compare(
+            row[schema.position(self.left)], self.op, row[schema.position(self.right)]
+        )
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        left_pos = schema.position(self.left)
+        right_pos = schema.position(self.right)
+        op = self.op
+        return lambda row: compare(row[left_pos], op, row[right_pos])
+
+    def _referenced(self) -> Iterable[str]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise PredicateError("And requires at least one operand")
+        flattened = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        return all(part.evaluate(schema, row) for part in self.parts)
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        compiled = [part.compile(schema) for part in self.parts]
+        return lambda row: all(check(row) for check in compiled)
+
+    def _referenced(self) -> Iterable[str]:
+        for part in self.parts:
+            yield from part._referenced()
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise PredicateError("Or requires at least one operand")
+        flattened = []
+        for part in parts:
+            if isinstance(part, Or):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        return any(part.evaluate(schema, row) for part in self.parts)
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        compiled = [part.compile(schema) for part in self.parts]
+        return lambda row: any(check(row) for check in compiled)
+
+    def _referenced(self) -> Iterable[str]:
+        for part in self.parts:
+            yield from part._referenced()
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate.
+
+    Note that negation over the ``⊥`` marker keeps "deleted tuples never
+    match": a row containing ``⊥`` in a referenced attribute fails the inner
+    comparison and would therefore *pass* a plain negation.  We explicitly
+    exclude such rows so that ``Not`` is still a world-wise sound filter.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        for attr in self.inner.attributes():
+            if not is_domain_value(row[schema.position(attr)]):
+                return False
+        return not self.inner.evaluate(schema, row)
+
+    def _referenced(self) -> Iterable[str]:
+        return self.inner._referenced()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+class TruePredicate(Predicate):
+    """A predicate satisfied by every row (useful as a neutral element)."""
+
+    def evaluate(self, schema: RelationSchema, row: Tuple[Any, ...]) -> bool:
+        return True
+
+    def compile(self, schema: RelationSchema) -> Callable[[Tuple[Any, ...]], bool]:
+        return lambda row: True
+
+    def _referenced(self) -> Iterable[str]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+def eq(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A = c``."""
+    return AttrConst(attribute, "=", constant)
+
+
+def ne(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A ≠ c``."""
+    return AttrConst(attribute, "!=", constant)
+
+
+def lt(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A < c``."""
+    return AttrConst(attribute, "<", constant)
+
+
+def le(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A ≤ c``."""
+    return AttrConst(attribute, "<=", constant)
+
+
+def gt(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A > c``."""
+    return AttrConst(attribute, ">", constant)
+
+
+def ge(attribute: str, constant: Any) -> AttrConst:
+    """Shorthand for ``A ≥ c``."""
+    return AttrConst(attribute, ">=", constant)
+
+
+def attr_eq(left: str, right: str) -> AttrAttr:
+    """Shorthand for ``A = B``."""
+    return AttrAttr(left, "=", right)

@@ -1,0 +1,211 @@
+"""In-memory relations with set semantics.
+
+A :class:`Relation` couples a :class:`~repro.relational.schema.RelationSchema`
+with a set of rows.  Rows are stored as plain Python tuples whose positions
+follow the schema's attribute order; named access goes through the schema.
+
+Relations follow set semantics (as in the paper): inserting a duplicate row
+is a no-op.  Iteration order is insertion order, which keeps query results
+deterministic and makes golden tests stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import ArityError, SchemaError
+from .schema import RelationSchema
+from .values import format_value
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A named relation: a schema plus a set of rows.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema.
+    rows:
+        Optional initial rows.  Each row may be a sequence (interpreted in
+        schema order) or a mapping from attribute name to value.
+    """
+
+    __slots__ = ("schema", "_rows", "_row_set")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Any] = ()) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._row_set: set = set()
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dicts(
+        cls, name: str, attributes: Sequence[str], dicts: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from dictionaries keyed by attribute name."""
+        relation = cls(RelationSchema(name, attributes))
+        for record in dicts:
+            relation.insert(record)
+        return relation
+
+    def empty_like(self, name: Optional[str] = None) -> "Relation":
+        """Return an empty relation with the same (possibly renamed) schema."""
+        schema = self.schema if name is None else self.schema.renamed(name)
+        return Relation(schema)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, row: Any) -> Row:
+        if isinstance(row, Mapping):
+            missing = [a for a in self.schema.attributes if a not in row]
+            if missing:
+                raise ArityError(
+                    f"row for {self.schema.name!r} is missing attributes {missing!r}"
+                )
+            extra = [k for k in row if not self.schema.has_attribute(k)]
+            if extra:
+                raise ArityError(
+                    f"row for {self.schema.name!r} has unknown attributes {extra!r}"
+                )
+            return tuple(row[a] for a in self.schema.attributes)
+        values = tuple(row)
+        if len(values) != self.schema.arity:
+            raise ArityError(
+                f"row {values!r} has arity {len(values)}, "
+                f"expected {self.schema.arity} for relation {self.schema.name!r}"
+            )
+        return values
+
+    def insert(self, row: Any) -> bool:
+        """Insert a row; return True if it was new, False if a duplicate."""
+        values = self._coerce(row)
+        if values in self._row_set:
+            return False
+        self._row_set.add(values)
+        self._rows.append(values)
+        return True
+
+    def insert_many(self, rows: Iterable[Any]) -> int:
+        """Insert several rows; return the number of newly inserted rows."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def remove(self, row: Any) -> bool:
+        """Remove a row if present; return True if it was removed."""
+        values = self._coerce(row)
+        if values not in self._row_set:
+            return False
+        self._row_set.discard(values)
+        self._rows.remove(values)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Any) -> bool:
+        try:
+            return self._coerce(row) in self._row_set
+        except ArityError:
+            return False
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """The rows of the relation, in insertion order."""
+        return tuple(self._rows)
+
+    def row_set(self) -> frozenset:
+        """The rows as a frozen set (for order-insensitive comparison)."""
+        return frozenset(self._row_set)
+
+    def value(self, row: Row, attribute: str) -> Any:
+        """Return the value of ``attribute`` in ``row``."""
+        return row[self.schema.position(attribute)]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Return the rows as dictionaries keyed by attribute name."""
+        attrs = self.schema.attributes
+        return [dict(zip(attrs, row)) for row in self._rows]
+
+    def column(self, attribute: str) -> List[Any]:
+        """Return the values of one attribute, in row order (with duplicates)."""
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self._rows]
+
+    def distinct_values(self, attribute: str) -> set:
+        """Return the set of distinct values of one attribute."""
+        pos = self.schema.position(attribute)
+        return {row[pos] for row in self._rows}
+
+    # ------------------------------------------------------------------ #
+    # Comparison and display
+    # ------------------------------------------------------------------ #
+
+    def same_rows(self, other: "Relation") -> bool:
+        """Return True if both relations contain exactly the same row set.
+
+        Attribute order must match; relation names are ignored.
+        """
+        if self.schema.attributes != other.schema.attributes:
+            return False
+        return self._row_set == other._row_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._row_set == other._row_set
+
+    def __hash__(self) -> int:
+        return hash((self.schema, frozenset(self._row_set)))
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Return a shallow copy (rows are immutable tuples, so this is safe)."""
+        schema = self.schema if name is None else self.schema.renamed(name)
+        copied = Relation(schema)
+        copied._rows = list(self._rows)
+        copied._row_set = set(self._row_set)
+        return copied
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """Render the relation as an ASCII table (used by examples and docs)."""
+        attrs = self.schema.attributes
+        shown = self._rows[:max_rows]
+        cells = [[format_value(v) for v in row] for row in shown]
+        widths = [
+            max([len(a)] + [len(row[i]) for row in cells]) for i, a in enumerate(attrs)
+        ]
+        header = " | ".join(a.ljust(widths[i]) for i, a in enumerate(attrs))
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [f"{self.schema.name} ({len(self)} rows)", header, separator]
+        lines.extend(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in cells
+        )
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self)} rows)"
+
+
+def require_same_attributes(left: Relation, right: Relation, operation: str) -> None:
+    """Raise :class:`SchemaError` unless both relations have identical attribute lists."""
+    if left.schema.attributes != right.schema.attributes:
+        raise SchemaError(
+            f"{operation} requires union-compatible relations, got "
+            f"{left.schema.attributes!r} and {right.schema.attributes!r}"
+        )

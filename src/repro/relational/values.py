@@ -1,0 +1,89 @@
+"""Domain values and the two special markers used by the representation layer.
+
+The paper uses two special symbols that are *not* domain values:
+
+* ``⊥`` (bottom) marks a field belonging to a "deleted"/absent tuple inside
+  a WSD component (Section 3).  Any tuple containing at least one ``⊥`` is
+  treated as absent from the world it would otherwise belong to.
+* ``?`` marks a field of a template relation whose value differs across
+  worlds (Section 3, "Adding Template Relations").
+
+Both are represented here by singleton sentinel objects so they can never be
+confused with ordinary strings or numbers stored in relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _Sentinel:
+    """A named singleton sentinel value."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+    def __copy__(self) -> "_Sentinel":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_Sentinel":
+        return self
+
+    def __reduce__(self):
+        # Preserve singleton-ness across pickling.
+        if self._label == "BOTTOM":
+            return (_get_bottom, ())
+        return (_get_placeholder, ())
+
+
+def _get_bottom() -> "_Sentinel":
+    return BOTTOM
+
+
+def _get_placeholder() -> "_Sentinel":
+    return PLACEHOLDER
+
+
+#: The ``⊥`` marker of the paper: field of a deleted/absent tuple.
+BOTTOM = _Sentinel("BOTTOM")
+
+#: The ``?`` marker of the paper: template field whose value is uncertain.
+PLACEHOLDER = _Sentinel("PLACEHOLDER")
+
+
+def is_bottom(value: Any) -> bool:
+    """Return True iff ``value`` is the ``⊥`` marker."""
+    return value is BOTTOM
+
+
+def is_placeholder(value: Any) -> bool:
+    """Return True iff ``value`` is the ``?`` marker."""
+    return value is PLACEHOLDER
+
+
+def is_domain_value(value: Any) -> bool:
+    """Return True iff ``value`` is an ordinary domain value (not ``⊥`` or ``?``)."""
+    return value is not BOTTOM and value is not PLACEHOLDER
+
+
+def contains_bottom(values: tuple) -> bool:
+    """Return True iff any element of ``values`` is the ``⊥`` marker.
+
+    Per the paper, a tuple with at least one ``⊥`` field is a ``t⊥`` tuple
+    and does not belong to the world it is part of.
+    """
+    return any(v is BOTTOM for v in values)
+
+
+def format_value(value: Any) -> str:
+    """Render a value for tabular display (``⊥`` and ``?`` shown as such)."""
+    if value is BOTTOM:
+        return "⊥"
+    if value is PLACEHOLDER:
+        return "?"
+    return str(value)

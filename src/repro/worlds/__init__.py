@@ -1,0 +1,30 @@
+"""Possible-worlds layer: explicit world-sets and the classical representation systems.
+
+Contains the *semantic* objects (finite sets of possible worlds) and the two
+pre-existing practical formalisms the paper compares against — or-set
+relations and tuple-independent probabilistic databases — plus the formal
+world-set relation (``inline`` / ``inline⁻¹``) that WSDs decompose.
+"""
+
+from .orset import OrSet, OrSetRelation, is_or_set
+from .tuple_independent import (
+    ProbabilisticTuple,
+    TupleIndependentDatabase,
+    TupleIndependentRelation,
+)
+from .worldset import PossibleWorld, WorldSet
+from .worldset_relation import WorldSetRelation, inline, inline_inverse
+
+__all__ = [
+    "OrSet",
+    "OrSetRelation",
+    "is_or_set",
+    "ProbabilisticTuple",
+    "TupleIndependentDatabase",
+    "TupleIndependentRelation",
+    "PossibleWorld",
+    "WorldSet",
+    "WorldSetRelation",
+    "inline",
+    "inline_inverse",
+]

@@ -1,0 +1,199 @@
+"""Or-set relations (Imielinski, Naqvi, Vadaparty 1991) — the paper's intro formalism.
+
+An or-set relation is a relation whose fields may hold an *or-set*: a finite
+set of mutually exclusive candidate values, one of which is the true value.
+Each combination of choices yields a possible world.  Or-set relations cannot
+express correlations between fields — the motivating limitation in Section 1
+(the cleaned census data with a key constraint is not representable).
+
+Or-set relations convert *linearly* into WSDs (one component per uncertain
+field), which is one of the expressiveness claims reproduced by
+``benchmarks/bench_representation_size.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+from .worldset import WorldSet
+
+
+class OrSet:
+    """A finite set of mutually exclusive candidate values for one field."""
+
+    __slots__ = ("values", "probabilities")
+
+    def __init__(
+        self, values: Sequence[Any], probabilities: Optional[Sequence[float]] = None
+    ) -> None:
+        values = list(values)
+        if not values:
+            raise RepresentationError("an or-set must contain at least one value")
+        if len(set(values)) != len(values):
+            raise RepresentationError(f"or-set values must be distinct, got {values!r}")
+        if probabilities is not None:
+            probabilities = list(probabilities)
+            if len(probabilities) != len(values):
+                raise RepresentationError("or-set probabilities must parallel its values")
+            total = sum(probabilities)
+            if abs(total - 1.0) > 1e-6:
+                raise RepresentationError(f"or-set probabilities sum to {total}, expected 1")
+        self.values = values
+        self.probabilities = probabilities
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrSet):
+            return NotImplemented
+        return self.values == other.values and self.probabilities == other.probabilities
+
+    def __repr__(self) -> str:
+        return f"OrSet({self.values!r})"
+
+
+def is_or_set(value: Any) -> bool:
+    """Return True iff ``value`` is an or-set (and not a plain domain value)."""
+    return isinstance(value, OrSet)
+
+
+class OrSetRelation:
+    """A relation whose fields are either certain values or :class:`OrSet` objects."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.schema = schema
+        self.rows: List[Tuple[Any, ...]] = []
+        for row in rows:
+            self.insert(row)
+
+    @classmethod
+    def from_dicts(
+        cls, name: str, attributes: Sequence[str], dicts: Iterable[Mapping[str, Any]]
+    ) -> "OrSetRelation":
+        """Build an or-set relation from dictionaries keyed by attribute name."""
+        relation = cls(RelationSchema(name, attributes))
+        for record in dicts:
+            relation.insert(tuple(record[a] for a in attributes))
+        return relation
+
+    def insert(self, row: Sequence[Any]) -> None:
+        values = tuple(row)
+        if len(values) != self.schema.arity:
+            raise RepresentationError(
+                f"or-set row {values!r} has arity {len(values)}, expected {self.schema.arity}"
+            )
+        self.rows.append(values)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def uncertain_fields(self) -> List[Tuple[int, str]]:
+        """Return ``(row index, attribute)`` pairs whose field holds an or-set."""
+        uncertain = []
+        for row_index, row in enumerate(self.rows):
+            for attribute, value in zip(self.schema.attributes, row):
+                if is_or_set(value):
+                    uncertain.append((row_index, attribute))
+        return uncertain
+
+    def world_count(self) -> int:
+        """Number of possible worlds (product of or-set sizes)."""
+        count = 1
+        for row in self.rows:
+            for value in row:
+                if is_or_set(value):
+                    count *= len(value)
+        return count
+
+    def representation_size(self) -> int:
+        """Total number of stored values (certain fields count 1, or-sets their size)."""
+        size = 0
+        for row in self.rows:
+            for value in row:
+                size += len(value) if is_or_set(value) else 1
+        return size
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def to_worldset(self, max_worlds: Optional[int] = 1_000_000) -> WorldSet:
+        """Expand into the explicit set of possible worlds.
+
+        Guards against combinatorial explosion via ``max_worlds`` (pass
+        ``None`` to disable the guard).
+        """
+        count = self.world_count()
+        if max_worlds is not None and count > max_worlds:
+            raise RepresentationError(
+                f"or-set relation represents {count} worlds, refusing to expand more than {max_worlds}"
+            )
+        probabilistic = self._is_probabilistic()
+        field_choices: List[List[Tuple[int, str, Any, float]]] = []
+        for row_index, row in enumerate(self.rows):
+            for attribute, value in zip(self.schema.attributes, row):
+                if is_or_set(value):
+                    probs = value.probabilities or [1.0 / len(value)] * len(value)
+                    field_choices.append(
+                        [(row_index, attribute, v, p) for v, p in zip(value.values, probs)]
+                    )
+
+        result = WorldSet()
+        for combination in itertools.product(*field_choices) if field_choices else [()]:
+            assignment: Dict[Tuple[int, str], Any] = {
+                (row_index, attribute): chosen
+                for row_index, attribute, chosen, _ in combination
+            }
+            probability = 1.0
+            for _, _, _, p in combination:
+                probability *= p
+            relation = Relation(self.schema)
+            for row_index, row in enumerate(self.rows):
+                values = []
+                for attribute, value in zip(self.schema.attributes, row):
+                    if is_or_set(value):
+                        values.append(assignment[(row_index, attribute)])
+                    else:
+                        values.append(value)
+                relation.insert(tuple(values))
+            result.add(Database([relation]), probability if probabilistic else None)
+        return result
+
+    def _is_probabilistic(self) -> bool:
+        """True iff at least one or-set carries explicit probabilities."""
+        for row in self.rows:
+            for value in row:
+                if is_or_set(value) and value.probabilities is not None:
+                    return True
+        return False
+
+    def certain_relation(self, default: Any = None) -> Relation:
+        """Return a plain relation where each or-set field is replaced by ``default``.
+
+        Useful for sizing comparisons ("one world" baseline).
+        """
+        relation = Relation(self.schema)
+        for row in self.rows:
+            relation.insert(
+                tuple(default if is_or_set(value) else value for value in row)
+            )
+        return relation
+
+    def __repr__(self) -> str:
+        return (
+            f"OrSetRelation({self.schema.name!r}, {len(self.rows)} rows, "
+            f"{len(self.uncertain_fields())} uncertain fields)"
+        )

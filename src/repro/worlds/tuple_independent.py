@@ -1,0 +1,153 @@
+"""Tuple-independent probabilistic databases (Dalvi & Suciu 2004).
+
+Each tuple carries a confidence: the probability that the tuple is present.
+Tuples are mutually independent, so a possible world is any subset of the
+tuples and its probability is the product of "present" / "absent" factors.
+
+This is the baseline representation of Example 5 / Figures 6–7 in the paper:
+WSDs strictly generalize it (each tuple becomes a two-local-world component),
+which :func:`repro.core.wsd.WSD.from_tuple_independent` implements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.errors import RepresentationError
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+from .worldset import WorldSet
+
+
+class ProbabilisticTuple:
+    """A tuple together with the probability of its presence."""
+
+    __slots__ = ("values", "probability")
+
+    def __init__(self, values: Sequence[Any], probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise RepresentationError(f"tuple probability {probability} outside [0, 1]")
+        self.values = tuple(values)
+        self.probability = probability
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticTuple({self.values!r}, p={self.probability:.4g})"
+
+
+class TupleIndependentRelation:
+    """One relation of a tuple-independent probabilistic database."""
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[ProbabilisticTuple] = ()) -> None:
+        self.schema = schema
+        self.tuples: List[ProbabilisticTuple] = []
+        for item in tuples:
+            self.insert(item.values, item.probability)
+
+    def insert(self, values: Sequence[Any], probability: float) -> None:
+        values = tuple(values)
+        if len(values) != self.schema.arity:
+            raise RepresentationError(
+                f"tuple {values!r} has arity {len(values)}, expected {self.schema.arity}"
+            )
+        self.tuples.append(ProbabilisticTuple(values, probability))
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:
+        return f"TupleIndependentRelation({self.schema.name!r}, {len(self)} tuples)"
+
+
+class TupleIndependentDatabase:
+    """A set of tuple-independent relations."""
+
+    def __init__(self, relations: Iterable[TupleIndependentRelation] = ()) -> None:
+        self.relations: Dict[str, TupleIndependentRelation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        records: Iterable[Mapping[str, Any]],
+        probability_key: str = "P",
+    ) -> "TupleIndependentDatabase":
+        """Build a single-relation database from dictionaries with a probability column."""
+        relation = TupleIndependentRelation(RelationSchema(name, attributes))
+        for record in records:
+            relation.insert(
+                tuple(record[a] for a in attributes), float(record[probability_key])
+            )
+        return cls([relation])
+
+    def add(self, relation: TupleIndependentRelation) -> None:
+        if relation.schema.name in self.relations:
+            raise RepresentationError(
+                f"relation {relation.schema.name!r} already present in tuple-independent database"
+            )
+        self.relations[relation.schema.name] = relation
+
+    def relation(self, name: str) -> TupleIndependentRelation:
+        return self.relations[name]
+
+    def tuple_count(self) -> int:
+        """Total number of (uncertain) tuples across all relations."""
+        return sum(len(relation) for relation in self.relations.values())
+
+    def world_count(self) -> int:
+        """Number of possible worlds: ``2^n`` for ``n`` uncertain tuples."""
+        return 2 ** self.tuple_count()
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def to_worldset(self, max_worlds: Optional[int] = 1_000_000) -> WorldSet:
+        """Expand into the explicit set of possible worlds (Figure 6 (b))."""
+        count = self.world_count()
+        if max_worlds is not None and count > max_worlds:
+            raise RepresentationError(
+                f"tuple-independent database represents {count} worlds, "
+                f"refusing to expand more than {max_worlds}"
+            )
+        entries: List[Tuple[str, ProbabilisticTuple]] = []
+        for name, relation in self.relations.items():
+            for item in relation:
+                entries.append((name, item))
+
+        result = WorldSet()
+        for mask in itertools.product((True, False), repeat=len(entries)):
+            probability = 1.0
+            database = Database()
+            for name, relation in self.relations.items():
+                database.add(Relation(relation.schema))
+            for include, (name, item) in zip(mask, entries):
+                if include:
+                    probability *= item.probability
+                    database.relation(name).insert(item.values)
+                else:
+                    probability *= 1.0 - item.probability
+            if probability > 0.0:
+                result.add(database, probability)
+        return result
+
+    def tuple_confidence(self, relation_name: str, values: Sequence[Any]) -> float:
+        """Probability that ``values`` is present (max over duplicate entries)."""
+        values = tuple(values)
+        absent = 1.0
+        found = False
+        for item in self.relations[relation_name]:
+            if item.values == values:
+                found = True
+                absent *= 1.0 - item.probability
+        return 1.0 - absent if found else 0.0
+
+    def __repr__(self) -> str:
+        return f"TupleIndependentDatabase({list(self.relations)!r}, {self.tuple_count()} tuples)"

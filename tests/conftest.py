@@ -1,0 +1,114 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.relational import Relation, RelationSchema
+from repro.worlds import OrSet, OrSetRelation
+
+
+# --------------------------------------------------------------------------- #
+# Paper running examples
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def census_forms() -> OrSetRelation:
+    """The two ambiguous census forms of Figure 1 (32 possible worlds)."""
+    return OrSetRelation.from_dicts(
+        "R",
+        ["S", "N", "M"],
+        [
+            {"S": OrSet([185, 785], [0.2, 0.8]), "N": "Smith", "M": OrSet([1, 2], [0.7, 0.3])},
+            {"S": OrSet([185, 186], [0.5, 0.5]), "N": "Brown", "M": OrSet([1, 2, 3, 4])},
+        ],
+    )
+
+
+@pytest.fixture
+def figure10_orset() -> OrSetRelation:
+    """The or-set relation whose expansion is the eight-world set of Figure 10 (a).
+
+    The 7-WSD of Figure 10 (b) has independent components for t1.A
+    ({1, 2}), t2.A ({4, 5}) and a joint component correlating t1.B, t1.C
+    and t2.B.  The joint part cannot be written as an or-set relation, so
+    this fixture provides only the independent skeleton used to build it;
+    tests construct the correlated component explicitly.
+    """
+    return OrSetRelation.from_dicts(
+        "R",
+        ["A", "B", "C"],
+        [
+            {"A": OrSet([1, 2]), "B": 1, "C": 0},
+            {"A": OrSet([4, 5]), "B": 3, "C": 0},
+            {"A": 6, "B": 6, "C": 7},
+        ],
+    )
+
+
+@pytest.fixture
+def small_relation() -> Relation:
+    """A small plain relation used by relational-algebra tests."""
+    return Relation(
+        RelationSchema("Emp", ("NAME", "DEPT", "SALARY")),
+        [
+            ("ann", "eng", 100),
+            ("bob", "eng", 90),
+            ("cat", "hr", 80),
+            ("dan", "hr", 95),
+            ("eve", "ops", 70),
+        ],
+    )
+
+
+@pytest.fixture
+def departments() -> Relation:
+    return Relation(
+        RelationSchema("Dept", ("DNAME", "FLOOR")),
+        [("eng", 3), ("hr", 1), ("ops", 2)],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------------- #
+
+#: Small domain values for generated relations/or-sets.
+values_strategy = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def orset_relations(draw, max_rows: int = 3, max_attrs: int = 3, max_alternatives: int = 3):
+    """Random small or-set relations (bounded world count)."""
+    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    schema = RelationSchema("R", tuple(f"A{i}" for i in range(attrs)))
+    relation = OrSetRelation(schema)
+    for _ in range(rows):
+        row = []
+        for _ in range(attrs):
+            uncertain = draw(st.booleans())
+            if uncertain:
+                size = draw(st.integers(min_value=2, max_value=max_alternatives))
+                candidates = draw(
+                    st.lists(values_strategy, min_size=size, max_size=size, unique=True)
+                )
+                row.append(OrSet(candidates))
+            else:
+                row.append(draw(values_strategy))
+        relation.insert(tuple(row))
+    return relation
+
+
+@st.composite
+def plain_relations(draw, name: str = "R", max_rows: int = 5, max_attrs: int = 3):
+    """Random small plain relations."""
+    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+    schema = RelationSchema(name, tuple(f"A{i}" for i in range(attrs)))
+    relation = Relation(schema)
+    for _ in range(rows):
+        relation.insert(tuple(draw(values_strategy) for _ in range(attrs)))
+    return relation

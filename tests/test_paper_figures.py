@@ -1,0 +1,128 @@
+"""Worked examples from the paper's Section 4 figures, plus small API units."""
+
+import pytest
+
+from repro.baselines import naive
+from repro.core import WSD, Component, FieldRef
+from repro.core.algebra import BaseRelation, evaluate_on_wsd
+from repro.core.fields import fields_of_tuple, format_tuple_id, product_tuple_id, union_tuple_id
+from repro.relational import DatabaseSchema, RelationSchema, attr_eq, eq
+from repro.relational.values import BOTTOM
+
+
+@pytest.fixture
+def figure10_wsd():
+    """The 7-WSD of Figure 10 (b), representing the eight worlds of Figure 10 (a)."""
+    schema = DatabaseSchema([RelationSchema("R", ("A", "B", "C"))])
+    components = [
+        Component((FieldRef("R", 1, "A"),), [(1,), (2,)], [0.5, 0.5]),
+        Component(
+            (FieldRef("R", 1, "B"), FieldRef("R", 1, "C"), FieldRef("R", 2, "B")),
+            [(1, 0, 3), (2, 7, 4)],
+            [0.5, 0.5],
+        ),
+        Component((FieldRef("R", 2, "A"),), [(4,), (5,)], [0.5, 0.5]),
+        Component((FieldRef("R", 2, "C"),), [(0,)], [1.0]),
+        Component((FieldRef("R", 3, "A"),), [(6,)], [1.0]),
+        Component((FieldRef("R", 3, "B"),), [(6,)], [1.0]),
+        Component((FieldRef("R", 3, "C"),), [(7,)], [1.0]),
+    ]
+    return WSD(schema, {"R": [1, 2, 3]}, components)
+
+
+class TestFigure10Examples:
+    def test_figure10_represents_eight_worlds(self, figure10_wsd):
+        worlds = figure10_wsd.rep()
+        assert len(worlds) == 8
+        # Spot-check two of the eight worlds listed in Figure 10 (a).
+        rows_sets = [frozenset(w.database.relation("R").rows) for w in worlds]
+        assert frozenset({(1, 1, 0), (4, 3, 0), (6, 6, 7)}) in rows_sets
+        assert frozenset({(2, 2, 7), (5, 4, 0), (6, 6, 7)}) in rows_sets
+
+    def test_figure11a_selection_constant(self, figure10_wsd):
+        """Figure 11 (a): P := σ_{C=7}(R) — worlds from the first joint local world lose t1."""
+        reference = naive.evaluate_query(figure10_wsd.rep(), BaseRelation("R").select(eq("C", 7)), "P")
+        evaluate_on_wsd(BaseRelation("R").select(eq("C", 7)), figure10_wsd, "P")
+        got = figure10_wsd.rep()
+        for world, expected in zip(sorted(got, key=lambda w: repr(w.database.canonical_form())),
+                                   sorted(reference, key=lambda w: repr(w.database.canonical_form()))):
+            assert world.database.relation("P").row_set() == expected.database.relation("P").row_set()
+        # t2 is absent from P in every world (its C is always 0), t3 always present.
+        possible_p = got.possible_tuples("P")
+        assert (6, 6, 7) in possible_p
+        assert all(row[2] == 7 for row in possible_p)
+
+    def test_figure13_selection_attribute(self, figure10_wsd):
+        """Figure 13: P := σ_{A=B}(R) represents five distinct result relations."""
+        query = BaseRelation("R").select(attr_eq("A", "B"))
+        reference = naive.query_answer_worlds(figure10_wsd.rep(), query, "P")
+        evaluate_on_wsd(query, figure10_wsd, "P")
+        result_only = figure10_wsd.restrict_to_relations(["P"])
+        distinct_results = {
+            frozenset(world.database.relation("P").rows) for world in result_only.rep()
+        }
+        expected_results = {
+            frozenset(world.database.relation("P").rows) for world in reference
+        }
+        assert distinct_results == expected_results
+        assert len(distinct_results) == 5
+        sizes = sorted(len(rows) for rows in distinct_results)
+        assert sizes == [1, 2, 2, 2, 3]
+
+    def test_figure15_projection_presence(self):
+        """Figure 15: π_A over a WSD where exactly one of two tuples exists per world."""
+        schema = DatabaseSchema([RelationSchema("R", ("A", "B"))])
+        components = [
+            Component((FieldRef("R", 1, "A"),), [("a",)], [1.0]),
+            Component((FieldRef("R", 2, "A"),), [("b",)], [1.0]),
+            Component(
+                (FieldRef("R", 1, "B"), FieldRef("R", 2, "B")),
+                [("c", BOTTOM), (BOTTOM, "d")],
+                [0.5, 0.5],
+            ),
+        ]
+        wsd = WSD(schema, {"R": [1, 2]}, components)
+        reference = naive.query_answer_worlds(wsd.rep(), BaseRelation("R").project(["A"]), "P")
+        evaluate_on_wsd(BaseRelation("R").project(["A"]), wsd, "P")
+        result_only = wsd.restrict_to_relations(["P"])
+        got = {frozenset(w.database.relation("P").rows) for w in result_only.rep()}
+        expected = {frozenset(w.database.relation("P").rows) for w in reference}
+        assert got == expected == {frozenset({("a",)}), frozenset({("b",)})}
+
+    def test_figure14_product(self, figure10_wsd):
+        """Product of two uncertain relations: world counts multiply, pairs preserved."""
+        schema = DatabaseSchema([RelationSchema("R", ("A",)), RelationSchema("S", ("B",))])
+        components = [
+            Component((FieldRef("R", 1, "A"),), [(1,), (2,)], [0.5, 0.5]),
+            Component((FieldRef("S", 1, "B"),), [("x",), ("y",)], [0.5, 0.5]),
+        ]
+        wsd = WSD(schema, {"R": [1], "S": [1]}, components)
+        query = BaseRelation("R").product(BaseRelation("S"))
+        reference = naive.query_answer_worlds(wsd.rep(), query, "T")
+        evaluate_on_wsd(query, wsd, "T")
+        result_only = wsd.restrict_to_relations(["T"])
+        got = {frozenset(w.database.relation("T").rows) for w in result_only.rep()}
+        expected = {frozenset(w.database.relation("T").rows) for w in reference}
+        assert got == expected
+        assert len(got) == 4
+
+
+class TestFieldHelpers:
+    def test_field_labels_and_transforms(self):
+        field = FieldRef("R", 3, "A")
+        assert field.label() == "R.t3.A"
+        assert field.with_relation("P") == FieldRef("P", 3, "A")
+        assert field.with_tuple(5) == FieldRef("R", 5, "A")
+        assert field.with_attribute("B") == FieldRef("R", 3, "B")
+        assert field.same_tuple(FieldRef("R", 3, "Z"))
+        assert not field.same_tuple(FieldRef("R", 4, "A"))
+
+    def test_structured_tuple_ids(self):
+        assert product_tuple_id(1, 2) == (1, 2)
+        assert union_tuple_id("R", 7) == ("R", 7)
+        assert format_tuple_id((1, (2, 3))) == "1_2_3"
+        assert FieldRef("T", product_tuple_id(1, 2), "A").label() == "T.t1_2.A"
+
+    def test_fields_of_tuple(self):
+        fields = fields_of_tuple("R", 1, ("A", "B"))
+        assert fields == (FieldRef("R", 1, "A"), FieldRef("R", 1, "B"))

@@ -1,0 +1,245 @@
+"""Unit and property tests for predicates, classical algebra, indexes and CSV I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    BOTTOM,
+    And,
+    AttrAttr,
+    AttrConst,
+    HashIndex,
+    Not,
+    Or,
+    PredicateError,
+    Relation,
+    RelationSchema,
+    SchemaError,
+    SortedIndex,
+    TruePredicate,
+    attr_eq,
+    compare,
+    difference,
+    eq,
+    equi_join,
+    ge,
+    group_count,
+    gt,
+    intersection,
+    le,
+    load_relation,
+    lt,
+    natural_join,
+    ne,
+    product,
+    project,
+    rename,
+    save_relation,
+    select,
+    union,
+)
+
+from conftest import plain_relations
+
+
+class TestPredicates:
+    schema = RelationSchema("R", ("A", "B"))
+
+    def test_attr_const_all_operators(self):
+        row = (5, 10)
+        assert eq("A", 5).evaluate(self.schema, row)
+        assert ne("A", 6).evaluate(self.schema, row)
+        assert lt("A", 6).evaluate(self.schema, row)
+        assert le("A", 5).evaluate(self.schema, row)
+        assert gt("B", 9).evaluate(self.schema, row)
+        assert ge("B", 10).evaluate(self.schema, row)
+        assert not eq("A", 6).evaluate(self.schema, row)
+
+    def test_attr_attr(self):
+        assert attr_eq("A", "B").evaluate(self.schema, (3, 3))
+        assert not attr_eq("A", "B").evaluate(self.schema, (3, 4))
+        assert AttrAttr("A", "<", "B").evaluate(self.schema, (3, 4))
+
+    def test_boolean_combinators(self):
+        predicate = And(eq("A", 1), Or(eq("B", 2), eq("B", 3)))
+        assert predicate.evaluate(self.schema, (1, 3))
+        assert not predicate.evaluate(self.schema, (1, 4))
+        assert (~eq("A", 1)).evaluate(self.schema, (2, 2))
+        assert (eq("A", 1) & eq("B", 2)).evaluate(self.schema, (1, 2))
+        assert (eq("A", 9) | eq("B", 2)).evaluate(self.schema, (1, 2))
+
+    def test_not_excludes_bottom_rows(self):
+        predicate = Not(eq("A", 1))
+        assert not predicate.evaluate(self.schema, (BOTTOM, 2))
+
+    def test_bottom_never_matches(self):
+        assert not eq("A", 1).evaluate(self.schema, (BOTTOM, 2))
+        assert not compare(BOTTOM, "=", BOTTOM)
+        assert not compare(1, "<", BOTTOM)
+
+    def test_mixed_type_comparisons_do_not_raise(self):
+        assert not compare("abc", "<", 5)
+        assert compare("abc", "!=", 5)
+        assert not compare("abc", "=", 5)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            AttrConst("A", "~~", 1)
+
+    def test_attributes_deduplicated(self):
+        predicate = And(eq("A", 1), eq("A", 2), eq("B", 3))
+        assert predicate.attributes() == ("A", "B")
+
+    def test_compile_matches_evaluate(self):
+        predicate = And(gt("A", 1), Or(eq("B", 2), eq("B", 5)))
+        compiled = predicate.compile(self.schema)
+        for row in [(0, 2), (2, 2), (2, 5), (2, 7)]:
+            assert compiled(row) == predicate.evaluate(self.schema, row)
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(self.schema, (1, 2))
+        assert TruePredicate().attributes() == ()
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(PredicateError):
+            And()
+        with pytest.raises(PredicateError):
+            Or()
+
+
+class TestClassicalAlgebra:
+    def test_select(self, small_relation):
+        result = select(small_relation, eq("DEPT", "eng"))
+        assert result.row_set() == {("ann", "eng", 100), ("bob", "eng", 90)}
+
+    def test_project_removes_duplicates(self, small_relation):
+        result = project(small_relation, ["DEPT"])
+        assert result.row_set() == {("eng",), ("hr",), ("ops",)}
+        assert result.schema.attributes == ("DEPT",)
+
+    def test_product(self, small_relation, departments):
+        result = product(small_relation, departments)
+        assert len(result) == len(small_relation) * len(departments)
+        assert result.schema.attributes == ("NAME", "DEPT", "SALARY", "DNAME", "FLOOR")
+
+    def test_product_requires_disjoint_attributes(self, small_relation):
+        with pytest.raises(SchemaError):
+            product(small_relation, small_relation)
+
+    def test_union_difference_intersection(self):
+        schema = RelationSchema("R", ("A",))
+        left = Relation(schema, [(1,), (2,), (3,)])
+        right = Relation(schema, [(3,), (4,)])
+        assert union(left, right).row_set() == {(1,), (2,), (3,), (4,)}
+        assert difference(left, right).row_set() == {(1,), (2,)}
+        assert intersection(left, right).row_set() == {(3,)}
+
+    def test_union_requires_compatibility(self, small_relation, departments):
+        with pytest.raises(SchemaError):
+            union(small_relation, departments)
+
+    def test_rename(self, small_relation):
+        result = rename(small_relation, "DEPT", "DEPARTMENT")
+        assert "DEPARTMENT" in result.schema.attributes
+        assert result.row_set() == small_relation.row_set()
+
+    def test_equi_join_matches_product_select(self, small_relation, departments):
+        joined = equi_join(small_relation, departments, "DEPT", "DNAME")
+        manual = select(product(small_relation, departments), attr_eq("DEPT", "DNAME"))
+        assert joined.row_set() == manual.row_set()
+
+    def test_natural_join(self, small_relation):
+        other = Relation(RelationSchema("Bonus", ("DEPT", "BONUS")), [("eng", 10), ("hr", 5)])
+        joined = natural_join(small_relation, other)
+        assert ("ann", "eng", 100, 10) in joined
+        assert all(row[1] != "ops" for row in joined)
+
+    def test_natural_join_without_shared_attributes_is_product(self, departments):
+        other = Relation(RelationSchema("X", ("V",)), [(1,), (2,)])
+        assert len(natural_join(departments, other)) == len(departments) * 2
+
+    def test_group_count(self, small_relation):
+        counts = dict((row[0], row[1]) for row in group_count(small_relation, ["DEPT"]))
+        assert counts == {"eng": 2, "hr": 2, "ops": 1}
+        with pytest.raises(SchemaError):
+            group_count(small_relation, ["DEPT"], count_as="DEPT")
+
+    @given(plain_relations(max_rows=8), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_union_commutes_and_difference_disjoint(self, relation, split):
+        rows = list(relation.rows)
+        split = min(split, len(rows))
+        left = Relation(relation.schema, rows[:split])
+        right = Relation(relation.schema, rows[split:])
+        assert union(left, right).row_set() == relation.row_set()
+        assert union(left, right).row_set() == union(right, left).row_set()
+        assert difference(left, right).row_set() & right.row_set() == set()
+        assert intersection(left, right).row_set() == (left.row_set() & right.row_set())
+
+    @given(plain_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_select_then_project_subset_of_project(self, relation):
+        attribute = relation.schema.attributes[0]
+        selected = project(select(relation, ge(attribute, 2)), [attribute])
+        everything = project(relation, [attribute])
+        assert selected.row_set() <= everything.row_set()
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self, small_relation):
+        index = HashIndex(small_relation, ["DEPT"])
+        assert len(index.lookup("eng")) == 2
+        assert index.lookup("none") == []
+        assert index.contains("hr")
+        assert set(index.group_sizes().values()) == {2, 2, 1}
+
+    def test_hash_index_composite_key(self, small_relation):
+        index = HashIndex(small_relation, ["DEPT", "SALARY"])
+        assert len(index.lookup("eng", 100)) == 1
+
+    def test_hash_index_add(self, small_relation):
+        index = HashIndex(small_relation, ["DEPT"])
+        small_relation.insert(("fred", "eng", 50))
+        index.add(("fred", "eng", 50))
+        assert len(index.lookup("eng")) == 3
+
+    def test_sorted_index_ranges(self, small_relation):
+        index = SortedIndex(small_relation, "SALARY")
+        assert [row[0] for row in index.range(90, 100)] == ["bob", "dan", "ann"]
+        assert [row[0] for row in index.range(None, 79)] == ["eve"]
+        assert index.min_key() == 70 and index.max_key() == 100
+        assert index.equal(95)[0][0] == "dan"
+        assert index.range(90, 100, include_low=False, include_high=False) == index.equal(95)
+
+    def test_sorted_index_empty(self):
+        relation = Relation(RelationSchema("R", ("A",)))
+        index = SortedIndex(relation, "A")
+        assert index.min_key() is None and index.max_key() is None and len(index) == 0
+
+
+class TestCsvIO:
+    def test_roundtrip_with_types_and_sentinels(self, tmp_path):
+        from repro.relational import PLACEHOLDER
+
+        relation = Relation(
+            RelationSchema("R", ("A", "B")),
+            [(1, "x"), (2, BOTTOM), (3, PLACEHOLDER)],
+        )
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        loaded = load_relation(path, types={"A": int})
+        assert loaded.schema.name == "r"
+        assert loaded.row_set() == relation.row_set()
+
+    def test_load_missing_header(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation(path)
+
+    def test_load_bad_arity(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,B\n1\n")
+        with pytest.raises(SchemaError):
+            load_relation(path)
