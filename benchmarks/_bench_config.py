@@ -1,0 +1,27 @@
+"""Benchmark sizing knobs, importable by module name.
+
+Benchmark modules import these helpers with ``from _bench_config import …``
+rather than ``from conftest import …``: conftest modules are loaded by
+pytest under a path-dependent module name, so importing one *by name* is a
+collection-order lottery once more than one conftest exists in the repo.
+
+* ``REPRO_BENCH_ROWS``      — base relation size (default 1000)
+* ``REPRO_BENCH_MAX_ROWS``  — largest size of the scaling sweeps (default 2000)
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def base_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROWS", "1000"))
+
+
+def max_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_MAX_ROWS", "2000"))
+
+
+def size_sweep() -> tuple:
+    top = max_rows()
+    return tuple(sorted({top // 4, top // 2, top}))

@@ -15,7 +15,7 @@ from repro.bench import census_instance, density_label
 from repro.census import census_dependencies
 from repro.core import chase_uwsdt
 
-from conftest import base_rows, size_sweep
+from _bench_config import base_rows, size_sweep
 
 DENSITIES = (0.00005, 0.0001, 0.0005, 0.001)
 

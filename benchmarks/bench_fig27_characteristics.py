@@ -17,7 +17,7 @@ import pytest
 from repro.bench import format_records, run_characteristics_experiment
 from repro.census import query_names
 
-from conftest import base_rows
+from _bench_config import base_rows
 
 DENSITIES = (0.00005, 0.0001, 0.0005, 0.001)
 

@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench import format_records, run_component_size_experiment
 
-from conftest import base_rows, size_sweep
+from _bench_config import base_rows, size_sweep
 
 DENSITIES = (0.00005, 0.0001, 0.0005, 0.001)
 

@@ -17,10 +17,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import census_instance, density_label
-from repro.census import CENSUS_QUERIES
+from repro.census import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
 from repro.core.algebra import evaluate_on_database, evaluate_on_uwsdt
+from repro.core.planner import Statistics, plan
 
-from conftest import base_rows
+from _bench_config import base_rows
 
 DENSITIES = (0.0, 0.00005, 0.0001, 0.0005, 0.001)
 QUERIES = tuple(CENSUS_QUERIES)
@@ -65,3 +66,58 @@ def test_query_evaluation(benchmark, query_name, density):
     benchmark.extra_info["rows"] = rows
     benchmark.extra_info["density"] = density_label(density)
     benchmark.extra_info["query"] = query_name
+
+
+# --------------------------------------------------------------------------- #
+# Planned vs unplanned: the σ-over-× join queries through the logical planner
+# --------------------------------------------------------------------------- #
+
+PLANNER_DENSITIES = (0.0, 0.001)
+PLANNER_QUERIES = {
+    "Q5xσ": q5_product_form,
+    "Q6⋈Q6": q6_self_join_product_form,
+}
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["unplanned", "planned"])
+@pytest.mark.parametrize(
+    "density", PLANNER_DENSITIES, ids=[density_label(d) for d in PLANNER_DENSITIES]
+)
+@pytest.mark.parametrize("query_name", tuple(PLANNER_QUERIES))
+def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
+    """One planned-vs-unplanned point: the same AST with and without the planner.
+
+    The headline row is ``Q6⋈Q6``: executed verbatim it materializes a
+    quadratic product template, while the planner fuses the selection into
+    an equi-join — the gap is the tentpole speedup this subsystem exists
+    for.
+    """
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    query = PLANNER_QUERIES[query_name]()
+
+    if density == 0.0:
+        database = instance.one_world_database()
+        built_plan = plan(query, Statistics.from_database(database)) if optimize else None
+
+        def run():
+            return query.run(database, "result", optimize=optimize, plan=built_plan)
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = len(result)
+    else:
+        chased = _chased(rows, density)
+        built_plan = plan(query, Statistics.from_uwsdt(chased)) if optimize else None
+
+        def run():
+            working_copy = chased.copy()
+            query.run(working_copy, "result", optimize=optimize, plan=built_plan)
+            return working_copy
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = result.template_size("result")
+
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["optimize"] = optimize

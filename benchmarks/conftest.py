@@ -3,32 +3,16 @@
 The benchmarks regenerate the paper's figures at laptop scale.  Sizes are
 kept deliberately small so the full ``pytest benchmarks/ --benchmark-only``
 run finishes in a few minutes; pass larger sizes through the environment
-variables below to push the sweep closer to the paper's scale.
-
-* ``REPRO_BENCH_ROWS``      — base relation size (default 1000)
-* ``REPRO_BENCH_MAX_ROWS``  — largest size of the scaling sweeps (default 2000)
+variables documented in :mod:`_bench_config`.
 """
 
 from __future__ import annotations
-
-import os
 
 import pytest
 
 from repro.bench import PAPER_DENSITIES
 
-
-def base_rows() -> int:
-    return int(os.environ.get("REPRO_BENCH_ROWS", "1000"))
-
-
-def max_rows() -> int:
-    return int(os.environ.get("REPRO_BENCH_MAX_ROWS", "2000"))
-
-
-def size_sweep() -> tuple:
-    top = max_rows()
-    return tuple(sorted({top // 4, top // 2, top}))
+from _bench_config import base_rows, max_rows, size_sweep  # noqa: F401
 
 
 @pytest.fixture(scope="session")

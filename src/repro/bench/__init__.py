@@ -11,6 +11,7 @@ from .harness import (
     run_chase_experiment,
     run_characteristics_experiment,
     run_component_size_experiment,
+    run_planner_experiment,
     run_query_experiment,
     run_representation_size_experiment,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "run_chase_experiment",
     "run_characteristics_experiment",
     "run_component_size_experiment",
+    "run_planner_experiment",
     "run_query_experiment",
     "run_representation_size_experiment",
 ]

@@ -19,10 +19,11 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..census.dependencies import census_dependencies
 from ..census.generator import CensusGenerator
-from ..census.queries import CENSUS_QUERIES
+from ..census.queries import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
 from ..census.schema import CENSUS_RELATION
 from ..core.algebra.query import Query, evaluate_on_database, evaluate_on_uwsdt
 from ..core.chase import chase_uwsdt
+from ..core.planner import Statistics, plan
 from ..core.uwsdt import UWSDT
 from ..relational.database import Database
 from ..relational.relation import Relation
@@ -295,6 +296,74 @@ def run_query_experiment(
                         "result_size": working_copy.template_size(name),
                     }
                 )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Planner experiment: planned vs unplanned evaluation of σ-over-× queries
+# --------------------------------------------------------------------------- #
+
+
+def run_planner_experiment(
+    sizes: Sequence[int] = (1_000, 2_000),
+    densities: Sequence[float] = (0.0, 0.001),
+    query_factory: Optional[Callable[[], Query]] = None,
+    seed: int = 42,
+) -> List[Dict[str, Any]]:
+    """Compare planned and unplanned evaluation of a product-form join query.
+
+    The default query is
+    :func:`~repro.census.queries.q6_self_join_product_form` —
+    ``σ_{B1=W2}(Q6' × Q6')`` over the *unselective* census query Q6, so the
+    unplanned AST materializes a genuinely quadratic product template while
+    the planner's σ(A=B)∘× → ⋈ fusion keeps it near-linear
+    (:func:`~repro.census.queries.q5_product_form` is the paper-faithful but
+    highly selective alternative).  Each record reports both wall-clock
+    times, the speedup, and the planner's own cost estimates for
+    cross-checking the model against reality.
+    """
+    factory = query_factory or q6_self_join_product_form
+    records: List[Dict[str, Any]] = []
+    for density in densities:
+        for rows in sizes:
+            instance = census_instance(rows, density, seed)
+            query = factory()
+            if density == 0.0:
+                database = instance.one_world_database()
+                built_plan = plan(query, Statistics.from_database(database))
+                _, unplanned_seconds = _timed(
+                    lambda: query.run(database, "result", optimize=False)
+                )
+                _, planned_seconds = _timed(
+                    lambda: query.run(database, "result", plan=built_plan)
+                )
+            else:
+                chased = instance.chased()
+                built_plan = plan(query, Statistics.from_uwsdt(chased))
+                unplanned_copy = chased.copy()
+                _, unplanned_seconds = _timed(
+                    lambda: query.run(unplanned_copy, "result", optimize=False)
+                )
+                planned_copy = chased.copy()
+                _, planned_seconds = _timed(
+                    lambda: query.run(planned_copy, "result", plan=built_plan)
+                )
+            records.append(
+                {
+                    "experiment": "planner",
+                    "rows": rows,
+                    "density": density,
+                    "density_label": density_label(density),
+                    "unplanned_seconds": unplanned_seconds,
+                    "planned_seconds": planned_seconds,
+                    "speedup": unplanned_seconds / planned_seconds
+                    if planned_seconds > 0
+                    else float("inf"),
+                    "estimated_cost_before": built_plan.cost_before.cost,
+                    "estimated_cost_after": built_plan.cost_after.cost,
+                    "rewrites": len(built_plan.applications),
+                }
+            )
     return records
 
 

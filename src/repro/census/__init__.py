@@ -7,7 +7,19 @@ cleaning dependencies of Figure 25 and the six queries of Figure 29.
 
 from .dependencies import census_dependencies
 from .generator import CensusGenerator, uncertain_field_count
-from .queries import CENSUS_QUERIES, census_query, q1, q2, q3, q4, q5, q6, query_names
+from .queries import (
+    CENSUS_QUERIES,
+    census_query,
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q5_product_form,
+    q6,
+    q6_self_join_product_form,
+    query_names,
+)
 from .schema import (
     CENSUS_RELATION,
     TOTAL_ATTRIBUTES,
@@ -27,7 +39,9 @@ __all__ = [
     "q3",
     "q4",
     "q5",
+    "q5_product_form",
     "q6",
+    "q6_self_join_product_form",
     "query_names",
     "CENSUS_RELATION",
     "TOTAL_ATTRIBUTES",

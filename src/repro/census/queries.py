@@ -59,9 +59,40 @@ def q5(relation: str = CENSUS_RELATION) -> Query:
     return left.join(right, "P1", "P2")
 
 
+def q5_product_form(relation: str = CENSUS_RELATION) -> Query:
+    """``Q5`` spelled as the paper defines joins: ``σ_{P1=P2}(… × …)``.
+
+    Semantically identical to :func:`q5`, but the AST materializes the full
+    cartesian product before selecting — exactly the shape the logical
+    planner's ``σ(A=B) ∘ × → ⋈`` fusion rewrites away.  Used by the
+    planned-vs-unplanned benchmark sweep.
+    """
+    left = q2(relation).rename("POWSTATE", "P1")
+    right = q3(relation).rename("POWSTATE", "P2")
+    return (
+        left.product(right)
+        .select(attr_eq("P1", "P2"))
+        .select(gt("P1", 50))
+    )
+
+
 def q6(relation: str = CENSUS_RELATION) -> Query:
     """``Q6 := π_{POWSTATE,POB}(σ_{ENGLISH=3}(R))``."""
     return BaseRelation(relation).select(eq("ENGLISH", 3)).project(["POWSTATE", "POB"])
+
+
+def q6_self_join_product_form(relation: str = CENSUS_RELATION) -> Query:
+    """Pairs of Q6 answers where one person works where the other was born.
+
+    Written as ``σ_{B1=W2}(δ(Q6) × δ(Q6))`` — the unfused product shape.
+    Q6 is the *unselective* query of Figure 29 (~10 % of the relation), so
+    executing this AST verbatim materializes a genuinely quadratic product
+    template; the planner's join fusion is what keeps it linear-ish.  Used
+    by the planned-vs-unplanned benchmark sweep.
+    """
+    left = q6(relation).rename("POWSTATE", "W1").rename("POB", "B1")
+    right = q6(relation).rename("POWSTATE", "W2").rename("POB", "B2")
+    return left.product(right).select(attr_eq("B1", "W2"))
 
 
 #: All six queries keyed by their paper name.

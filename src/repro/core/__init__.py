@@ -9,6 +9,8 @@ Contents:
 * :mod:`repro.core.decompose`, :mod:`repro.core.normalize` — maximal product
   decomposition and the normalization algorithms of Section 7 / Figure 20.
 * :mod:`repro.core.algebra` — query evaluation (Figure 9 and Section 5).
+* :mod:`repro.core.planner` — the logical planner: rewrite rules and a cost
+  model over query ASTs, shared by all three engines.
 * :mod:`repro.core.confidence` — confidence computation and ``possible``
   (Section 6, Figures 17–19).
 * :mod:`repro.core.chase` — data cleaning by chasing FDs and EGDs
@@ -41,6 +43,7 @@ from .normalize import (
     normalize_wsd,
     remove_invalid_tuples,
 )
+from .planner import Plan, Statistics, plan, plan_for_engine
 from .uwsdt import TID, UWSDT
 from .wsd import WSD
 from .wsdt import WSDT
@@ -68,6 +71,10 @@ __all__ = [
     "compress_components",
     "normalize_wsd",
     "remove_invalid_tuples",
+    "Plan",
+    "Statistics",
+    "plan",
+    "plan_for_engine",
     "TID",
     "UWSDT",
     "WSD",

@@ -24,7 +24,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ...relational import algebra as relational_algebra
 from ...relational.database import Database
 from ...relational.errors import QueryError
-from ...relational.predicates import AttrAttr, Predicate
+from ...relational.indexes import IndexPool
+from ...relational.predicates import AttrAttr, AttrConst, Predicate
 from ...relational.relation import Relation
 from ..uwsdt import UWSDT
 from ..wsd import WSD
@@ -68,6 +69,56 @@ class Query:
                 if name not in names:
                     names.append(name)
         return names
+
+    # -- planned evaluation ------------------------------------------------ #
+
+    def plan(self, engine=None, statistics=None):
+        """Build a :class:`~repro.core.planner.Plan` for this query.
+
+        ``engine`` may be a Database, WSD or UWSDT (statistics are gathered
+        from it); alternatively pass prebuilt ``statistics``.  With neither,
+        planning runs with default statistics (schema-blind rewrites only).
+        """
+        from ..planner import Statistics, plan as build_plan
+
+        if statistics is None and engine is not None:
+            statistics = Statistics.from_engine(engine)
+        return build_plan(self, statistics)
+
+    def run(self, engine, result_name: str = "result", optimize: bool = True, plan=None):
+        """Evaluate this query on any of the three engines.
+
+        * on a :class:`~repro.relational.database.Database` — returns the
+          result :class:`~repro.relational.relation.Relation`;
+        * on a :class:`~repro.core.wsd.WSD` or :class:`~repro.core.uwsdt.UWSDT`
+          — extends the representation in place and returns the name of the
+          result relation (the paper's ``Q̂`` convention).
+
+        With ``optimize=True`` (the default) the query is first rewritten by
+        the logical planner (selection pushdown, join fusion, projection
+        pushdown, rename elimination) using statistics gathered from the
+        engine; pass a prebuilt ``plan`` to skip re-planning, or
+        ``optimize=False`` to execute this AST verbatim.
+        """
+        if not isinstance(engine, (Database, WSD, UWSDT)):
+            raise QueryError(
+                f"cannot evaluate a query on {type(engine).__name__}; "
+                "expected Database, WSD or UWSDT"
+            )
+        if plan is not None:
+            executable = plan.chosen
+        elif optimize:
+            executable = self.plan(engine).chosen
+        else:
+            executable = self
+
+        if isinstance(engine, Database):
+            # A per-run pool: queries selecting the same base relation more
+            # than once (e.g. self-joins) probe a shared hash index.
+            return evaluate_on_database(executable, engine, result_name, IndexPool())
+        if isinstance(engine, UWSDT):
+            return evaluate_on_uwsdt(executable, engine, result_name)
+        return evaluate_on_wsd(executable, engine, result_name)
 
 
 class BaseRelation(Query):
@@ -192,37 +243,60 @@ class Join(Query):
 # --------------------------------------------------------------------------- #
 
 
-def evaluate_on_database(query: Query, database: Database, result_name: str = "result") -> Relation:
-    """Classical evaluation: returns the result relation."""
-    relation = _evaluate_db(query, database)
+def evaluate_on_database(
+    query: Query,
+    database: Database,
+    result_name: str = "result",
+    index_pool: Optional[IndexPool] = None,
+) -> Relation:
+    """Classical evaluation: returns the result relation.
+
+    Pass an :class:`~repro.relational.indexes.IndexPool` to let equality
+    selections over base relations probe shared hash indexes (the pool is
+    reusable across queries against the same database).
+    """
+    relation = _evaluate_db(query, database, index_pool)
     return relation.copy(result_name)
 
 
-def _evaluate_db(query: Query, database: Database) -> Relation:
+def _evaluate_db(query: Query, database: Database, pool: Optional[IndexPool] = None) -> Relation:
     if isinstance(query, BaseRelation):
         return database.relation(query.name)
     if isinstance(query, Select):
-        return relational_algebra.select(_evaluate_db(query.child, database), query.predicate)
+        child = _evaluate_db(query.child, database, pool)
+        index = None
+        if (
+            pool is not None
+            and isinstance(query.child, BaseRelation)
+            and isinstance(query.predicate, AttrConst)
+            and query.predicate.op in ("=", "==")
+        ):
+            index = pool.hash_index(child, (query.predicate.attribute,))
+        return relational_algebra.select(child, query.predicate, index=index)
     if isinstance(query, Project):
-        return relational_algebra.project(_evaluate_db(query.child, database), query.attributes)
+        return relational_algebra.project(
+            _evaluate_db(query.child, database, pool), query.attributes
+        )
     if isinstance(query, Product):
         return relational_algebra.product(
-            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+            _evaluate_db(query.left, database, pool), _evaluate_db(query.right, database, pool)
         )
     if isinstance(query, Union):
         return relational_algebra.union(
-            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+            _evaluate_db(query.left, database, pool), _evaluate_db(query.right, database, pool)
         )
     if isinstance(query, Difference):
         return relational_algebra.difference(
-            _evaluate_db(query.left, database), _evaluate_db(query.right, database)
+            _evaluate_db(query.left, database, pool), _evaluate_db(query.right, database, pool)
         )
     if isinstance(query, Rename):
-        return relational_algebra.rename(_evaluate_db(query.child, database), query.old, query.new)
+        return relational_algebra.rename(
+            _evaluate_db(query.child, database, pool), query.old, query.new
+        )
     if isinstance(query, Join):
         return relational_algebra.equi_join(
-            _evaluate_db(query.left, database),
-            _evaluate_db(query.right, database),
+            _evaluate_db(query.left, database, pool),
+            _evaluate_db(query.right, database, pool),
             query.left_attr,
             query.right_attr,
         )
@@ -278,6 +352,12 @@ def _evaluate_wsd(query: Query, wsd: WSD, names: Iterator[str], result_name: Opt
     if isinstance(query, Union):
         left = _evaluate_wsd(query.left, wsd, names, None)
         right = _evaluate_wsd(query.right, wsd, names, None)
+        if right == left:
+            # Union of a relation with itself: tuple ids are derived from the
+            # operand names, so alias one side to keep them distinct.
+            alias = next(names)
+            wsd_ops.copy_relation(wsd, right, alias)
+            right = alias
         target = fresh()
         wsd_ops.union(wsd, left, right, target)
         return target
@@ -351,6 +431,13 @@ def _evaluate_uwsdt(
     if isinstance(query, Union):
         left = _evaluate_uwsdt(query.left, uwsdt, names, None)
         right = _evaluate_uwsdt(query.right, uwsdt, names, None)
+        if right == left:
+            # Union of a relation with itself: result tuple ids are derived
+            # from the operand names, so alias one side first.
+            alias = next(names)
+            attribute = uwsdt.schema.relation(right).attributes[0]
+            uwsdt_ops.rename(uwsdt, right, alias, attribute, attribute)
+            right = alias
         target = fresh()
         uwsdt_ops.union(uwsdt, left, right, target)
         return target

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...relational.errors import RepresentationError, SchemaError
-from ...relational.predicates import Predicate
+from ...relational.predicates import AttrConst, Predicate
 from ...relational.schema import RelationSchema
 from ...relational.values import BOTTOM, PLACEHOLDER, is_placeholder
 from ..component import Component
@@ -135,6 +135,28 @@ def _merge_target_components(uwsdt: UWSDT, fields: Sequence[FieldRef]) -> int:
 # --------------------------------------------------------------------------- #
 
 
+def _equality_candidates(uwsdt: UWSDT, source: str, predicate: Predicate):
+    """Candidate ``(tuple_id, values)`` rows for an equality selection, or None.
+
+    A pushed-down selection ``σ_{A=c}`` only ever keeps template rows whose
+    ``A`` field equals ``c`` or is the ``?`` placeholder, so instead of
+    scanning the template it probes the (cached) hash index of Section 5's
+    "employing indices" tuning with exactly those two keys.
+    """
+    if not isinstance(predicate, AttrConst) or predicate.op not in ("=", "=="):
+        return None
+    try:
+        hash(predicate.constant)
+    except TypeError:
+        return None
+    index = uwsdt.template_index(source, predicate.attribute)
+    rows = index.lookup(predicate.constant) + index.lookup(PLACEHOLDER)
+    tid_position = uwsdt.templates[source].schema.position(TID)
+    return [
+        (row[tid_position], row[:tid_position] + row[tid_position + 1:]) for row in rows
+    ]
+
+
 def select(uwsdt: UWSDT, source: str, target: str, predicate: Predicate) -> None:
     """Selection ``P := σ_pred(R)`` on a UWSDT (the algorithm of Figure 16, generalized)."""
     source_schema = uwsdt.schema.relation(source)
@@ -152,7 +174,11 @@ def select(uwsdt: UWSDT, source: str, target: str, predicate: Predicate) -> None
     reference_schema = RelationSchema(source, referenced) if referenced else None
     compiled = predicate.compile(reference_schema) if referenced else None
 
-    for tuple_id, values in list(uwsdt.template_rows(source)):
+    candidates = _equality_candidates(uwsdt, source, predicate)
+    if candidates is None:
+        candidates = list(uwsdt.template_rows(source))
+
+    for tuple_id, values in candidates:
         uncertain_refs = [
             a for a, p in zip(referenced, referenced_positions) if is_placeholder(values[p])
         ]

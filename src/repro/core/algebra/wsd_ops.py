@@ -20,9 +20,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ...relational.errors import RepresentationError, SchemaError
-from ...relational.predicates import Predicate
+from ...relational.indexes import HashIndex
+from ...relational.predicates import AttrConst, Predicate
+from ...relational.relation import Relation
 from ...relational.schema import DatabaseSchema, RelationSchema
-from ...relational.values import BOTTOM
+from ...relational.values import BOTTOM, is_domain_value
 from ..component import Component
 from ..fields import FieldRef, product_tuple_id, union_tuple_id
 from ..wsd import WSD
@@ -78,6 +80,48 @@ def _mark_deleted(component: Component, relation: str, tuple_id: Any, row_indice
     return Component(component.fields, new_rows, component.probabilities)
 
 
+def _equality_fast_path(wsd: WSD, target: str, predicate: Predicate):
+    """Resolve tuples with a *certain* referenced field via a hash-index probe.
+
+    For a pushed-down equality selection ``σ_{A=c}``, a tuple whose ``A``
+    field takes the same domain value in every local world is decided by a
+    single probe of a :class:`~repro.relational.indexes.HashIndex` built
+    over those certain values: matching tuples are kept untouched, the rest
+    are marked deleted (``⊥``) wholesale.  Returns the tuple ids whose
+    referenced field is genuinely uncertain (they still need the per-local-
+    world treatment of Figure 9), or None when the fast path does not apply.
+    """
+    if not isinstance(predicate, AttrConst) or predicate.op not in ("=", "=="):
+        return None
+    try:
+        hash(predicate.constant)
+    except TypeError:
+        return None
+    attribute = predicate.attribute
+    probe = Relation(RelationSchema("__select_probe__", ("TID", "VAL")))
+    uncertain = []
+    for tuple_id in wsd.tuple_ids[target]:
+        field = FieldRef(target, tuple_id, attribute)
+        component = wsd.component_for(field)
+        column = component.column(field)
+        first = column[0] if column else BOTTOM
+        if is_domain_value(first) and all(value == first for value in column[1:]):
+            probe.insert((tuple_id, first))
+        else:
+            uncertain.append(tuple_id)
+    index = HashIndex(probe, ("VAL",))
+    matching = {row[0] for row in index.lookup(predicate.constant)}
+    for tuple_id, _ in probe:
+        if tuple_id in matching:
+            continue
+        field = FieldRef(target, tuple_id, attribute)
+        component_index = wsd.component_of(field)
+        component = wsd.components[component_index]
+        component = _mark_deleted(component, target, tuple_id, range(component.size))
+        wsd.replace_component(component_index, component.propagate_bottom())
+    return uncertain
+
+
 def select(wsd: WSD, source: str, target: str, predicate: Predicate) -> None:
     """Selection ``P := σ_pred(R)`` on a WSD (Figure 9, both selection variants).
 
@@ -92,7 +136,10 @@ def select(wsd: WSD, source: str, target: str, predicate: Predicate) -> None:
 
     copy_relation(wsd, source, target)
     referenced = predicate.attributes()
-    for tuple_id in wsd.tuple_ids[target]:
+    remaining = _equality_fast_path(wsd, target, predicate)
+    if remaining is None:
+        remaining = wsd.tuple_ids[target]
+    for tuple_id in remaining:
         fields = [FieldRef(target, tuple_id, attribute) for attribute in referenced]
         component_index = wsd.merge_components_of(fields)
         component = wsd.components[component_index]

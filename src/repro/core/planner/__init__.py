@@ -1,0 +1,52 @@
+"""Logical query planner: rewrite rules + cost model over :class:`Query` ASTs.
+
+* :mod:`repro.core.planner.rules`   — semantics-preserving rewrites
+  (selection pushdown, σ(A=B)∘× → equi-join fusion, projection pushdown,
+  rename elimination).
+* :mod:`repro.core.planner.cost`    — cardinality/width cost model fed by
+  template-row counts and component statistics.
+* :mod:`repro.core.planner.planner` — the fixpoint driver and the
+  inspectable :class:`Plan` (``plan.explain()``).
+"""
+
+from .cost import CostEstimate, Statistics, estimate, output_attributes, predicate_selectivity
+from .planner import Plan, RuleApplication, plan, plan_for_engine, rewrite
+from .rules import (
+    DEFAULT_PHASES,
+    EliminateRename,
+    EliminateTrueSelect,
+    FuseSelectIntoJoin,
+    MergeSelects,
+    PushProjectDown,
+    PushSelectDown,
+    RewriteContext,
+    RewriteRule,
+    conjunction,
+    conjuncts,
+    substitute_attributes,
+)
+
+__all__ = [
+    "CostEstimate",
+    "Statistics",
+    "estimate",
+    "output_attributes",
+    "predicate_selectivity",
+    "Plan",
+    "RuleApplication",
+    "plan",
+    "plan_for_engine",
+    "rewrite",
+    "DEFAULT_PHASES",
+    "EliminateRename",
+    "EliminateTrueSelect",
+    "FuseSelectIntoJoin",
+    "MergeSelects",
+    "PushProjectDown",
+    "PushSelectDown",
+    "RewriteContext",
+    "RewriteRule",
+    "conjunction",
+    "conjuncts",
+    "substitute_attributes",
+]

@@ -1,0 +1,278 @@
+"""Cost model for the logical planner.
+
+The planner compares rewritten plans through a deliberately simple cost
+model: estimated operator work as a function of input cardinalities.  The
+cardinalities come from :class:`Statistics`, which every engine can produce
+cheaply —
+
+* a :class:`~repro.relational.database.Database` reports relation sizes,
+* a :class:`~repro.core.wsd.WSD` reports tuple counts per relation plus the
+  fraction of fields whose component has more than one local world,
+* a :class:`~repro.core.uwsdt.UWSDT` reports template-row counts plus the
+  placeholder density per template (the quantity the paper's Figure 27
+  tracks as ``|R|`` and ``#comp``).
+
+Uncertainty matters to cost: a selection over a template keeps every tuple
+whose referenced field is a placeholder (lines 2–6 of Figure 16), so its
+effective selectivity is ``s + d·(1 − s)`` for placeholder density ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ...relational.predicates import And, AttrAttr, AttrConst, Not, Or, Predicate, TruePredicate
+from ..algebra.query import (
+    BaseRelation,
+    Difference,
+    Join,
+    Product,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Union,
+)
+
+#: Cardinality assumed for relations the statistics do not know about.
+DEFAULT_ROW_COUNT = 1_000
+
+#: Assumed selectivity of an equality atom ``A = c`` / ``A = B``.
+EQUALITY_SELECTIVITY = 0.1
+
+#: Assumed selectivity of a range atom (``<``, ``<=``, ``>``, ``>=``).
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+class Statistics:
+    """Per-relation cardinality and uncertainty statistics feeding the cost model."""
+
+    def __init__(
+        self,
+        row_counts: Optional[Mapping[str, int]] = None,
+        placeholder_densities: Optional[Mapping[str, float]] = None,
+        attributes: Optional[Mapping[str, Tuple[str, ...]]] = None,
+    ) -> None:
+        self.row_counts: Dict[str, int] = dict(row_counts or {})
+        self.placeholder_densities: Dict[str, float] = dict(placeholder_densities or {})
+        #: Base-relation attribute lists (the planner's catalog for rewrites).
+        self.attributes: Dict[str, Tuple[str, ...]] = {
+            name: tuple(attrs) for name, attrs in (attributes or {}).items()
+        }
+
+    # -- constructors ------------------------------------------------------ #
+
+    @classmethod
+    def from_database(cls, database: Any) -> "Statistics":
+        rows = {relation.schema.name: len(relation) for relation in database}
+        attrs = {relation.schema.name: relation.schema.attributes for relation in database}
+        densities = {name: 0.0 for name in rows}
+        return cls(rows, densities, attrs)
+
+    @classmethod
+    def from_wsd(cls, wsd: Any) -> "Statistics":
+        rows = {name: len(ids) for name, ids in wsd.tuple_ids.items()}
+        attrs = {rs.name: rs.attributes for rs in wsd.schema}
+        uncertain: Dict[str, int] = {}
+        for component in wsd.components:
+            if component.size <= 1:
+                continue
+            for field in component.fields:
+                uncertain[field.relation] = uncertain.get(field.relation, 0) + 1
+        densities = {}
+        for rs in wsd.schema:
+            fields = max(1, rows.get(rs.name, 0) * rs.arity)
+            densities[rs.name] = min(1.0, uncertain.get(rs.name, 0) / fields)
+        return cls(rows, densities, attrs)
+
+    @classmethod
+    def from_uwsdt(cls, uwsdt: Any) -> "Statistics":
+        rows = {rs.name: uwsdt.template_size(rs.name) for rs in uwsdt.schema}
+        attrs = {rs.name: rs.attributes for rs in uwsdt.schema}
+        placeholders: Dict[str, int] = {}
+        for field in uwsdt.field_to_cid:
+            placeholders[field.relation] = placeholders.get(field.relation, 0) + 1
+        densities = {}
+        for rs in uwsdt.schema:
+            fields = max(1, rows.get(rs.name, 0) * rs.arity)
+            densities[rs.name] = min(1.0, placeholders.get(rs.name, 0) / fields)
+        return cls(rows, densities, attrs)
+
+    @classmethod
+    def from_engine(cls, engine: Any) -> "Statistics":
+        """Dispatch on the engine type (Database, WSD or UWSDT)."""
+        from ...relational.database import Database
+        from ..uwsdt import UWSDT
+        from ..wsd import WSD
+
+        if isinstance(engine, Database):
+            return cls.from_database(engine)
+        if isinstance(engine, UWSDT):
+            return cls.from_uwsdt(engine)
+        if isinstance(engine, WSD):
+            return cls.from_wsd(engine)
+        raise TypeError(f"cannot derive statistics from {type(engine).__name__}")
+
+    # -- lookups ----------------------------------------------------------- #
+
+    def row_count(self, relation_name: str) -> int:
+        return self.row_counts.get(relation_name, DEFAULT_ROW_COUNT)
+
+    def placeholder_density(self, relation_name: str) -> float:
+        return self.placeholder_densities.get(relation_name, 0.0)
+
+    def relation_attributes(self, relation_name: str) -> Optional[Tuple[str, ...]]:
+        return self.attributes.get(relation_name)
+
+    def __repr__(self) -> str:
+        return f"Statistics({self.row_counts!r})"
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated output cardinality and cumulative operator work of a plan."""
+
+    rows: float
+    cost: float
+
+    def __repr__(self) -> str:
+        return f"CostEstimate(rows≈{self.rows:.0f}, cost≈{self.cost:.0f})"
+
+
+def predicate_selectivity(predicate: Predicate) -> float:
+    """Heuristic selectivity of a selection predicate."""
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, (AttrConst, AttrAttr)):
+        op = predicate.op
+        if op in ("=", "=="):
+            return EQUALITY_SELECTIVITY
+        if op in ("!=", "<>"):
+            return 1.0 - EQUALITY_SELECTIVITY
+        return RANGE_SELECTIVITY
+    if isinstance(predicate, And):
+        selectivity = 1.0
+        for part in predicate.parts:
+            selectivity *= predicate_selectivity(part)
+        return selectivity
+    if isinstance(predicate, Or):
+        miss = 1.0
+        for part in predicate.parts:
+            miss *= 1.0 - predicate_selectivity(part)
+        return 1.0 - miss
+    if isinstance(predicate, Not):
+        return 1.0 - predicate_selectivity(predicate.inner)
+    return 0.5
+
+
+def output_attributes(query: Query, statistics: Statistics) -> Optional[Tuple[str, ...]]:
+    """Output attribute list of a query, or None if a base schema is unknown.
+
+    This is the planner's schema inference: rewrite legality (which side of a
+    product a predicate may move to, what a projection may drop) and the
+    width-aware cost factor both derive from it.
+    """
+    if isinstance(query, BaseRelation):
+        return statistics.relation_attributes(query.name)
+    if isinstance(query, Select):
+        return output_attributes(query.child, statistics)
+    if isinstance(query, Project):
+        return tuple(query.attributes)
+    if isinstance(query, Rename):
+        child = output_attributes(query.child, statistics)
+        if child is None:
+            return None
+        return tuple(query.new if a == query.old else a for a in child)
+    if isinstance(query, (Product, Join)):
+        left = output_attributes(query.left, statistics)
+        right = output_attributes(query.right, statistics)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(query, (Union, Difference)):
+        return output_attributes(query.left, statistics)
+    raise TypeError(f"cannot infer attributes of {query!r}")
+
+
+#: Arity assumed when schema inference cannot resolve a subquery's width.
+DEFAULT_ARITY = 4
+
+
+def _width_factor(query: Query, statistics: Statistics) -> float:
+    """Per-tuple cost factor growing with the tuple width.
+
+    Census templates are ~50 attributes wide; materializing a product of two
+    of them moves twice as many values per tuple as scanning one.
+    """
+    attributes = output_attributes(query, statistics)
+    arity = len(attributes) if attributes is not None else DEFAULT_ARITY
+    return 1.0 + 0.1 * arity
+
+
+def _max_density(query: Query, statistics: Statistics) -> float:
+    return max(
+        (statistics.placeholder_density(name) for name in query.base_relations()),
+        default=0.0,
+    )
+
+
+def estimate(query: Query, statistics: Statistics) -> CostEstimate:
+    """Estimate output cardinality and total work of evaluating ``query``.
+
+    The unit of cost is "one tuple touched by one operator"; constants are
+    uniform across engines because the planner only ever compares plans for
+    the same engine.
+    """
+    if isinstance(query, BaseRelation):
+        return CostEstimate(rows=float(statistics.row_count(query.name)), cost=0.0)
+    if isinstance(query, Select):
+        child = estimate(query.child, statistics)
+        selectivity = predicate_selectivity(query.predicate)
+        # Placeholder rows survive every selection on the representation
+        # (they are filtered world-by-world inside their components).
+        density = _max_density(query, statistics)
+        effective = selectivity + density * (1.0 - selectivity)
+        return CostEstimate(rows=child.rows * effective, cost=child.cost + child.rows)
+    if isinstance(query, Project):
+        child = estimate(query.child, statistics)
+        return CostEstimate(
+            rows=child.rows, cost=child.cost + child.rows * _width_factor(query.child, statistics)
+        )
+    if isinstance(query, Rename):
+        child = estimate(query.child, statistics)
+        return CostEstimate(rows=child.rows, cost=child.cost + child.rows)
+    if isinstance(query, Product):
+        left = estimate(query.left, statistics)
+        right = estimate(query.right, statistics)
+        out = left.rows * right.rows
+        return CostEstimate(
+            rows=out, cost=left.cost + right.cost + out * _width_factor(query, statistics)
+        )
+    if isinstance(query, Join):
+        left = estimate(query.left, statistics)
+        right = estimate(query.right, statistics)
+        out = left.rows * right.rows * EQUALITY_SELECTIVITY
+        # Hash join: build + probe + emit.
+        return CostEstimate(
+            rows=out,
+            cost=left.cost
+            + right.cost
+            + left.rows
+            + right.rows
+            + out * _width_factor(query, statistics),
+        )
+    if isinstance(query, Union):
+        left = estimate(query.left, statistics)
+        right = estimate(query.right, statistics)
+        out = left.rows + right.rows
+        return CostEstimate(rows=out, cost=left.cost + right.cost + out)
+    if isinstance(query, Difference):
+        left = estimate(query.left, statistics)
+        right = estimate(query.right, statistics)
+        # On WSDs/UWSDTs difference composes components pairwise — by far the
+        # paper's most expensive operator — so it is costed quadratically.
+        return CostEstimate(
+            rows=left.rows, cost=left.cost + right.cost + left.rows * max(1.0, right.rows)
+        )
+    raise TypeError(f"cannot estimate cost of {query!r}")

@@ -1,0 +1,190 @@
+"""The logical planner: drives the rewrite rules and wraps the result in a Plan.
+
+``plan(query, statistics)`` runs the phased rule pipeline of
+:mod:`~repro.core.planner.rules` to a fixpoint, costs the original and the
+rewritten tree with the model of :mod:`~repro.core.planner.cost`, and keeps
+whichever is estimated cheaper.  The returned :class:`Plan` records every
+rule application so ``plan.explain()`` can show *why* the chosen tree looks
+the way it does — the inspectability seam later sharding/multi-backend work
+builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..algebra.query import (
+    BaseRelation,
+    Difference,
+    Join,
+    Product,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Union,
+)
+from .cost import CostEstimate, Statistics, estimate
+from .rules import DEFAULT_PHASES, RewriteContext, RewriteRule
+
+#: Safety bound on fixpoint iterations per phase (a phase that needs more is
+#: almost certainly oscillating; the bound turns that into a stable result).
+MAX_PASSES_PER_PHASE = 25
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """One successful rule firing, recorded for ``plan.explain()``."""
+
+    phase: str
+    rule: str
+    before: str
+    after: str
+
+
+@dataclass
+class Plan:
+    """An optimized (or deliberately untouched) query plan.
+
+    ``chosen`` is the tree :meth:`~repro.core.algebra.query.Query.run`
+    evaluates: the rewritten tree when the cost model judges it cheaper,
+    otherwise the original.
+    """
+
+    original: Query
+    optimized: Query
+    applications: List[RuleApplication]
+    statistics: Statistics
+    cost_before: CostEstimate
+    cost_after: CostEstimate
+
+    @property
+    def chosen(self) -> Query:
+        return self.optimized if self.improved else self.original
+
+    @property
+    def improved(self) -> bool:
+        return bool(self.applications) and self.cost_after.cost <= self.cost_before.cost
+
+    def explain(self) -> str:
+        """Human-readable account of the planning decision."""
+        lines = [
+            "query plan",
+            "==========",
+            f"original : {self.original!r}",
+            f"rewritten: {self.optimized!r}",
+            f"cost     : {self.cost_before.cost:,.0f} -> {self.cost_after.cost:,.0f}"
+            f" (estimated rows {self.cost_before.rows:,.0f} -> {self.cost_after.rows:,.0f})",
+            f"chosen   : {'rewritten' if self.improved else 'original'}",
+        ]
+        if self.applications:
+            lines.append("rewrites :")
+            for application in self.applications:
+                lines.append(f"  [{application.phase}] {application.rule}")
+                lines.append(f"      {application.before}")
+                lines.append(f"    → {application.after}")
+        else:
+            lines.append("rewrites : (none applied)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan({len(self.applications)} rewrites, "
+            f"cost {self.cost_before.cost:,.0f} -> {self.cost_after.cost:,.0f}, "
+            f"chosen={'rewritten' if self.improved else 'original'})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The rewrite engine
+# --------------------------------------------------------------------------- #
+
+
+def _rebuild(query: Query, children: Tuple[Query, ...]) -> Query:
+    """Clone ``query`` with new children (Query nodes are plain objects)."""
+    if isinstance(query, BaseRelation):
+        return query
+    if isinstance(query, Select):
+        return Select(children[0], query.predicate)
+    if isinstance(query, Project):
+        return Project(children[0], query.attributes)
+    if isinstance(query, Rename):
+        return Rename(children[0], query.old, query.new)
+    if isinstance(query, Product):
+        return Product(children[0], children[1])
+    if isinstance(query, Union):
+        return Union(children[0], children[1])
+    if isinstance(query, Difference):
+        return Difference(children[0], children[1])
+    if isinstance(query, Join):
+        return Join(children[0], children[1], query.left_attr, query.right_attr)
+    raise TypeError(f"cannot rebuild {query!r}")
+
+
+def _apply_once(
+    query: Query,
+    rules: Sequence[RewriteRule],
+    context: RewriteContext,
+    phase: str,
+    trace: List[RuleApplication],
+) -> Tuple[Query, bool]:
+    """One bottom-up pass: rewrite children first, then try each rule here."""
+    children = query.children()
+    changed = False
+    if children:
+        new_children = []
+        for child in children:
+            new_child, child_changed = _apply_once(child, rules, context, phase, trace)
+            changed = changed or child_changed
+            new_children.append(new_child)
+        if changed:
+            query = _rebuild(query, tuple(new_children))
+    for rule in rules:
+        rewritten = rule.apply(query, context)
+        if rewritten is not None:
+            trace.append(RuleApplication(phase, rule.name, repr(query), repr(rewritten)))
+            return rewritten, True
+    return query, changed
+
+
+def rewrite(
+    query: Query,
+    context: RewriteContext,
+    phases: Sequence[Tuple[str, Sequence[RewriteRule]]] = DEFAULT_PHASES,
+    trace: Optional[List[RuleApplication]] = None,
+) -> Query:
+    """Run the phased rule pipeline to a fixpoint; return the rewritten tree."""
+    recorded: List[RuleApplication] = trace if trace is not None else []
+    current = query
+    for phase_name, rules in phases:
+        for _ in range(MAX_PASSES_PER_PHASE):
+            current, changed = _apply_once(current, rules, context, phase_name, recorded)
+            if not changed:
+                break
+    return current
+
+
+def plan(
+    query: Query,
+    statistics: Optional[Statistics] = None,
+    phases: Sequence[Tuple[str, Sequence[RewriteRule]]] = DEFAULT_PHASES,
+) -> Plan:
+    """Plan ``query``: rewrite, cost both trees, pick the cheaper one."""
+    statistics = statistics or Statistics()
+    context = RewriteContext(statistics)
+    trace: List[RuleApplication] = []
+    optimized = rewrite(query, context, phases, trace)
+    return Plan(
+        original=query,
+        optimized=optimized,
+        applications=trace,
+        statistics=statistics,
+        cost_before=estimate(query, statistics),
+        cost_after=estimate(optimized, statistics),
+    )
+
+
+def plan_for_engine(query: Query, engine, **kwargs) -> Plan:
+    """Plan ``query`` with statistics gathered from a live engine."""
+    return plan(query, Statistics.from_engine(engine), **kwargs)

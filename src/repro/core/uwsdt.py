@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from ..relational.database import Database
 from ..relational.errors import RepresentationError
+from ..relational.indexes import HashIndex, IndexPool
 from ..relational.relation import Relation
 from ..relational.schema import DatabaseSchema, RelationSchema
 from ..relational.values import BOTTOM, PLACEHOLDER, is_placeholder
@@ -58,6 +59,9 @@ class UWSDT:
         #: Which component defines which placeholder field (the ``F`` relation).
         self.field_to_cid: Dict[FieldRef, int] = {}
         self._next_cid = 1
+        #: Version-validated cache of template hash indexes (Section 5's
+        #: "employing indices" on the fixed UWSDT schema).
+        self._index_pool = IndexPool()
         for relation_schema in self.schema:
             self._init_template(relation_schema)
 
@@ -148,6 +152,17 @@ class UWSDT:
         raise RepresentationError(
             f"tuple {tuple_id!r} not found in template of {relation_name!r}"
         )
+
+    def template_index(self, relation_name: str, attribute: str) -> HashIndex:
+        """A (cached) hash index over one attribute of a template relation.
+
+        The index maps template values — including the ``?`` placeholder
+        sentinel — to full template rows.  Pushed-down equality selections
+        probe it with the constant plus ``?`` instead of scanning the whole
+        template; the cache is invalidated automatically when the template
+        relation changes (see :class:`~repro.relational.indexes.IndexPool`).
+        """
+        return self._index_pool.hash_index(self.templates[relation_name], (attribute,))
 
     def template_rows(self, relation_name: str) -> Iterator[Tuple[Any, Tuple[Any, ...]]]:
         """Yield ``(tuple_id, values)`` pairs of one template (values without the tid column)."""

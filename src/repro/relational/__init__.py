@@ -34,7 +34,7 @@ from .errors import (
     UnknownAttributeError,
     UnknownRelationError,
 )
-from .indexes import HashIndex, SortedIndex
+from .indexes import HashIndex, IndexPool, SortedIndex
 from .predicates import (
     And,
     AttrAttr,
@@ -85,6 +85,7 @@ __all__ = [
     "UnknownAttributeError",
     "UnknownRelationError",
     "HashIndex",
+    "IndexPool",
     "SortedIndex",
     "And",
     "AttrAttr",

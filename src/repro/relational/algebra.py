@@ -17,14 +17,35 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from .errors import SchemaError
-from .predicates import Predicate
+from .indexes import HashIndex
+from .predicates import AttrConst, Predicate
 from .relation import Relation, require_same_attributes
 from .schema import RelationSchema
 
 
-def select(relation: Relation, predicate: Predicate, name: Optional[str] = None) -> Relation:
-    """Selection ``σ_pred(R)``: keep the rows satisfying ``predicate``."""
+def select(
+    relation: Relation,
+    predicate: Predicate,
+    name: Optional[str] = None,
+    index: Optional[HashIndex] = None,
+) -> Relation:
+    """Selection ``σ_pred(R)``: keep the rows satisfying ``predicate``.
+
+    When a :class:`~repro.relational.indexes.HashIndex` over the predicate's
+    attribute is supplied and the predicate is an equality ``A = c``, the
+    index is probed instead of scanning the relation.
+    """
     result = Relation(relation.schema.renamed(name or relation.schema.name))
+    if (
+        index is not None
+        and isinstance(predicate, AttrConst)
+        and predicate.op in ("=", "==")
+        and index.attributes == (predicate.attribute,)
+        and index.relation is relation
+    ):
+        for row in index.lookup(predicate.constant):
+            result.insert(row)
+        return result
     check = predicate.compile(relation.schema)
     for row in relation:
         if check(row):

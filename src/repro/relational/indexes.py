@@ -58,6 +58,45 @@ class HashIndex:
         return len(self._buckets)
 
 
+class IndexPool:
+    """A version-validated cache of :class:`HashIndex` objects.
+
+    The engines ask the pool for an index on every pushed-down equality
+    selection; the pool rebuilds an index only when the underlying relation
+    has actually changed (tracked via :attr:`Relation.version`), so repeated
+    selections over the same base relation probe a shared index instead of
+    rescanning it.  Keys use ``id(relation)`` — the pool must therefore keep
+    a reference to the relation, which it does via the stored index.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, Tuple[str, ...]], Tuple[int, HashIndex]] = {}
+
+    def hash_index(self, relation: Relation, attributes: Sequence[str]) -> HashIndex:
+        """Return a (cached) hash index over ``attributes`` of ``relation``."""
+        key = (id(relation), tuple(attributes))
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == relation.version and entry[1].relation is relation:
+            return entry[1]
+        index = HashIndex(relation, attributes)
+        self._cache[key] = (relation.version, index)
+        return index
+
+    def invalidate(self, relation: Relation) -> None:
+        """Drop all cached indexes of one relation."""
+        stale = [key for key in self._cache if key[0] == id(relation)]
+        for key in stale:
+            del self._cache[key]
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
 class SortedIndex:
     """Sorted single-attribute index supporting range lookups."""
 

@@ -32,12 +32,13 @@ class Relation:
         schema order) or a mapping from attribute name to value.
     """
 
-    __slots__ = ("schema", "_rows", "_row_set")
+    __slots__ = ("schema", "_rows", "_row_set", "_version")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Any] = ()) -> None:
         self.schema = schema
         self._rows: List[Row] = []
         self._row_set: set = set()
+        self._version = 0
         for row in rows:
             self.insert(row)
 
@@ -92,6 +93,7 @@ class Relation:
             return False
         self._row_set.add(values)
         self._rows.append(values)
+        self._version += 1
         return True
 
     def insert_many(self, rows: Iterable[Any]) -> int:
@@ -105,6 +107,7 @@ class Relation:
             return False
         self._row_set.discard(values)
         self._rows.remove(values)
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------ #
@@ -127,6 +130,16 @@ class Relation:
     def rows(self) -> Tuple[Row, ...]:
         """The rows of the relation, in insertion order."""
         return tuple(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped on every effective insert or remove.
+
+        Secondary indexes cache against this value so they can tell whether
+        the relation changed underneath them (see
+        :class:`~repro.relational.indexes.IndexPool`).
+        """
+        return self._version
 
     def row_set(self) -> frozenset:
         """The rows as a frozen set (for order-insensitive comparison)."""
@@ -178,6 +191,7 @@ class Relation:
         copied = Relation(schema)
         copied._rows = list(self._rows)
         copied._row_set = set(self._row_set)
+        copied._version = self._version
         return copied
 
     def to_text(self, max_rows: int = 20) -> str:

@@ -1,0 +1,78 @@
+"""Shared hypothesis strategies and world-set comparison helpers.
+
+This module is imported by test modules as ``from _fixtures import ...``.
+It deliberately has a non-``conftest`` name: the benchmark suite has its own
+``benchmarks/conftest.py``, and importing fixtures *by module name* from a
+file called ``conftest`` resolves to whichever conftest pytest put on
+``sys.path`` first — a collection-order lottery.  Pytest fixtures proper
+live in ``tests/conftest.py`` (which re-exports from here).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.relational import Relation, RelationSchema
+from repro.worlds import OrSet, OrSetRelation
+
+#: Small domain values for generated relations/or-sets.
+values_strategy = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def orset_relations(draw, max_rows: int = 3, max_attrs: int = 3, max_alternatives: int = 3):
+    """Random small or-set relations (bounded world count)."""
+    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    schema = RelationSchema("R", tuple(f"A{i}" for i in range(attrs)))
+    relation = OrSetRelation(schema)
+    for _ in range(rows):
+        row = []
+        for _ in range(attrs):
+            uncertain = draw(st.booleans())
+            if uncertain:
+                size = draw(st.integers(min_value=2, max_value=max_alternatives))
+                candidates = draw(
+                    st.lists(values_strategy, min_size=size, max_size=size, unique=True)
+                )
+                row.append(OrSet(candidates))
+            else:
+                row.append(draw(values_strategy))
+        relation.insert(tuple(row))
+    return relation
+
+
+@st.composite
+def plain_relations(draw, name: str = "R", max_rows: int = 5, max_attrs: int = 3):
+    """Random small plain relations."""
+    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+    schema = RelationSchema(name, tuple(f"A{i}" for i in range(attrs)))
+    relation = Relation(schema)
+    for _ in range(rows):
+        relation.insert(tuple(draw(values_strategy) for _ in range(attrs)))
+    return relation
+
+
+# --------------------------------------------------------------------------- #
+# World-set comparison helpers (shared by the query and planner oracle tests)
+# --------------------------------------------------------------------------- #
+
+
+def result_distribution(worldset, relation_name="P"):
+    """Map each world to (frozenset of result rows) -> total probability."""
+    distribution = {}
+    for world in worldset:
+        key = frozenset(world.database.relation(relation_name).rows)
+        probability = world.probability if world.probability is not None else 1.0
+        distribution[key] = distribution.get(key, 0.0) + probability
+    return distribution
+
+
+def assert_same_result_distribution(left, right, relation_name="P"):
+    first = result_distribution(left, relation_name)
+    second = result_distribution(right, relation_name)
+    assert set(first) == set(second)
+    for key in first:
+        assert first[key] == pytest.approx(second[key], abs=1e-9)

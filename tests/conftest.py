@@ -1,12 +1,18 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis strategies live in :mod:`_fixtures` (an importable module, not a
+conftest) so that test modules can import them by name without colliding
+with ``benchmarks/conftest.py``.
+"""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import strategies as st
 
 from repro.relational import Relation, RelationSchema
 from repro.worlds import OrSet, OrSetRelation
+
+from _fixtures import orset_relations, plain_relations, values_strategy  # noqa: F401
 
 
 # --------------------------------------------------------------------------- #
@@ -69,46 +75,3 @@ def departments() -> Relation:
         RelationSchema("Dept", ("DNAME", "FLOOR")),
         [("eng", 3), ("hr", 1), ("ops", 2)],
     )
-
-
-# --------------------------------------------------------------------------- #
-# Hypothesis strategies
-# --------------------------------------------------------------------------- #
-
-#: Small domain values for generated relations/or-sets.
-values_strategy = st.integers(min_value=0, max_value=4)
-
-
-@st.composite
-def orset_relations(draw, max_rows: int = 3, max_attrs: int = 3, max_alternatives: int = 3):
-    """Random small or-set relations (bounded world count)."""
-    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
-    rows = draw(st.integers(min_value=1, max_value=max_rows))
-    schema = RelationSchema("R", tuple(f"A{i}" for i in range(attrs)))
-    relation = OrSetRelation(schema)
-    for _ in range(rows):
-        row = []
-        for _ in range(attrs):
-            uncertain = draw(st.booleans())
-            if uncertain:
-                size = draw(st.integers(min_value=2, max_value=max_alternatives))
-                candidates = draw(
-                    st.lists(values_strategy, min_size=size, max_size=size, unique=True)
-                )
-                row.append(OrSet(candidates))
-            else:
-                row.append(draw(values_strategy))
-        relation.insert(tuple(row))
-    return relation
-
-
-@st.composite
-def plain_relations(draw, name: str = "R", max_rows: int = 5, max_attrs: int = 3):
-    """Random small plain relations."""
-    attrs = draw(st.integers(min_value=1, max_value=max_attrs))
-    rows = draw(st.integers(min_value=0, max_value=max_rows))
-    schema = RelationSchema(name, tuple(f"A{i}" for i in range(attrs)))
-    relation = Relation(schema)
-    for _ in range(rows):
-        relation.insert(tuple(draw(values_strategy) for _ in range(attrs)))
-    return relation

@@ -26,7 +26,7 @@ from repro.core.algebra import BaseRelation, evaluate_on_wsd
 from repro.relational import InconsistentWorldSetError, RepresentationError
 from repro.worlds import OrSet, OrSetRelation
 
-from conftest import orset_relations
+from _fixtures import orset_relations
 
 
 @pytest.fixture

@@ -1,0 +1,330 @@
+"""Unit tests for the logical planner: rules, cost model, Plan, Query.run."""
+
+import pytest
+
+from repro.core import UWSDT, WSD
+from repro.core.algebra import BaseRelation, Join, Product, Project, Rename, Select
+from repro.core.planner import (
+    CostEstimate,
+    Plan,
+    RewriteContext,
+    Statistics,
+    estimate,
+    output_attributes,
+    plan,
+    predicate_selectivity,
+    rewrite,
+)
+from repro.relational import (
+    And,
+    Database,
+    HashIndex,
+    IndexPool,
+    Or,
+    QueryError,
+    Relation,
+    RelationSchema,
+    TruePredicate,
+    attr_eq,
+    eq,
+    gt,
+)
+from repro.worlds import OrSet, OrSetRelation
+
+STATS = Statistics(
+    row_counts={"R": 1000, "S": 100},
+    attributes={"R": ("A", "B", "C"), "S": ("D", "E")},
+)
+
+
+def rewritten(query):
+    return plan(query, STATS).optimized
+
+
+class TestRules:
+    def test_join_fusion(self):
+        query = BaseRelation("R").product(BaseRelation("S")).select(attr_eq("B", "D"))
+        result = rewritten(query)
+        assert isinstance(result, Join)
+        assert (result.left_attr, result.right_attr) == ("B", "D")
+
+    def test_join_fusion_swapped_sides(self):
+        query = BaseRelation("R").product(BaseRelation("S")).select(attr_eq("D", "B"))
+        result = rewritten(query)
+        assert isinstance(result, Join)
+        assert (result.left_attr, result.right_attr) == ("B", "D")
+
+    def test_selection_pushdown_into_product(self):
+        query = BaseRelation("R").product(BaseRelation("S")).select(
+            And(eq("A", 1), gt("E", 5))
+        )
+        result = rewritten(query)
+        assert isinstance(result, Product)
+        assert isinstance(result.left, Select) and result.left.predicate.attributes() == ("A",)
+        assert isinstance(result.right, Select) and result.right.predicate.attributes() == ("E",)
+
+    def test_selection_pushdown_below_union(self):
+        left = BaseRelation("R")
+        right = BaseRelation("R")
+        query = left.union(right).select(eq("A", 1))
+        result = rewritten(query)
+        from repro.core.algebra import Union
+
+        assert isinstance(result, Union)
+        assert isinstance(result.left, Select) and isinstance(result.right, Select)
+
+    def test_selection_pushdown_below_difference_left_only(self):
+        query = BaseRelation("R").difference(BaseRelation("R")).select(eq("A", 1))
+        result = rewritten(query)
+        from repro.core.algebra import Difference
+
+        assert isinstance(result, Difference)
+        assert isinstance(result.left, Select)
+        assert isinstance(result.right, BaseRelation)
+
+    def test_selection_pushdown_through_rename_substitutes(self):
+        query = BaseRelation("R").rename("A", "X").select(eq("X", 1))
+        result = rewritten(query)
+        assert isinstance(result, Rename)
+        assert isinstance(result.child, Select)
+        assert result.child.predicate.attributes() == ("A",)
+
+    def test_identity_rename_eliminated(self):
+        query = BaseRelation("R").rename("A", "A").select(eq("A", 1))
+        result = rewritten(query)
+        assert isinstance(result, Select) and isinstance(result.child, BaseRelation)
+
+    def test_inverse_renames_cancel(self):
+        query = BaseRelation("R").rename("A", "X").rename("X", "A")
+        assert isinstance(rewritten(query), BaseRelation)
+
+    def test_rename_chain_collapses(self):
+        query = BaseRelation("R").rename("A", "X").rename("X", "Y")
+        result = rewritten(query)
+        assert isinstance(result, Rename)
+        assert (result.old, result.new) == ("A", "Y")
+        assert isinstance(result.child, BaseRelation)
+
+    def test_projection_pushdown_through_product(self):
+        query = BaseRelation("R").product(BaseRelation("S")).project(["A", "D"])
+        result = rewritten(query)
+        assert isinstance(result, Product)
+        assert isinstance(result.left, Project) and result.left.attributes == ("A",)
+        assert isinstance(result.right, Project) and result.right.attributes == ("D",)
+
+    def test_projection_keeps_join_attributes(self):
+        query = BaseRelation("R").join(BaseRelation("S"), "B", "D").project(["A", "E"])
+        result = rewritten(query)
+        assert isinstance(result, Project)
+        join = result.child
+        assert isinstance(join, Join)
+        assert "B" in join.left.attributes and "D" in join.right.attributes
+
+    def test_stacked_projections_collapse(self):
+        query = BaseRelation("R").project(["A", "B"]).project(["A"])
+        result = rewritten(query)
+        assert isinstance(result, Project) and result.attributes == ("A",)
+        assert isinstance(result.child, BaseRelation)
+
+    def test_true_select_eliminated(self):
+        query = Select(BaseRelation("R"), TruePredicate())
+        assert isinstance(rewritten(query), BaseRelation)
+
+    def test_unknown_schema_blocks_pushdown_but_not_correctness(self):
+        # No attributes known for "T": side-partitioning rewrites are skipped.
+        query = BaseRelation("T").product(BaseRelation("U")).select(eq("A", 1))
+        result = plan(query, Statistics()).optimized
+        assert isinstance(result, Select)
+
+    def test_output_attributes_inference(self):
+        query = BaseRelation("R").rename("A", "X").join(BaseRelation("S"), "X", "D")
+        assert output_attributes(query, STATS) == ("X", "B", "C", "D", "E")
+        assert output_attributes(BaseRelation("T"), STATS) is None
+
+
+class TestCostModel:
+    def test_equality_more_selective_than_range(self):
+        assert predicate_selectivity(eq("A", 1)) < predicate_selectivity(gt("A", 1))
+
+    def test_and_tightens_or_loosens(self):
+        atom = eq("A", 1)
+        assert predicate_selectivity(And(atom, atom)) < predicate_selectivity(atom)
+        assert predicate_selectivity(Or(atom, atom)) > predicate_selectivity(atom)
+
+    def test_join_cheaper_than_select_over_product(self):
+        product_form = BaseRelation("R").product(BaseRelation("S")).select(attr_eq("B", "D"))
+        join_form = BaseRelation("R").join(BaseRelation("S"), "B", "D")
+        assert estimate(join_form, STATS).cost < estimate(product_form, STATS).cost
+
+    def test_pushed_selection_cheaper(self):
+        raw = BaseRelation("R").product(BaseRelation("S")).select(eq("A", 1))
+        pushed = BaseRelation("R").select(eq("A", 1)).product(BaseRelation("S"))
+        assert estimate(pushed, STATS).cost < estimate(raw, STATS).cost
+
+    def test_placeholder_density_inflates_selection_output(self):
+        dense = Statistics(
+            row_counts={"R": 1000},
+            placeholder_densities={"R": 0.5},
+            attributes={"R": ("A",)},
+        )
+        sparse = Statistics(
+            row_counts={"R": 1000},
+            placeholder_densities={"R": 0.0},
+            attributes={"R": ("A",)},
+        )
+        query = BaseRelation("R").select(eq("A", 1))
+        assert estimate(query, dense).rows > estimate(query, sparse).rows
+
+    def test_statistics_from_engines(self):
+        relation = Relation(RelationSchema("R", ("A", "B")), [(1, 2), (3, 4)])
+        database = Database([relation])
+        stats = Statistics.from_database(database)
+        assert stats.row_count("R") == 2
+        assert stats.relation_attributes("R") == ("A", "B")
+
+        orset = OrSetRelation.from_dicts(
+            "R", ["A", "B"], [{"A": OrSet([1, 2]), "B": 3}, {"A": 4, "B": 5}]
+        )
+        uwsdt_stats = Statistics.from_uwsdt(UWSDT.from_orset_relation(orset))
+        assert uwsdt_stats.row_count("R") == 2
+        assert 0.0 < uwsdt_stats.placeholder_density("R") < 1.0
+
+        wsd_stats = Statistics.from_wsd(WSD.from_orset_relation(orset))
+        assert wsd_stats.row_count("R") == 2
+        assert 0.0 < wsd_stats.placeholder_density("R") < 1.0
+
+
+class TestPlanObject:
+    def test_explain_mentions_rules_and_costs(self):
+        query = BaseRelation("R").product(BaseRelation("S")).select(attr_eq("B", "D"))
+        explained = plan(query, STATS).explain()
+        assert "fuse-select-into-join" in explained
+        assert "cost" in explained and "chosen" in explained
+
+    def test_plan_keeps_original_when_nothing_applies(self):
+        query = BaseRelation("R").select(eq("A", 1))
+        result = plan(query, STATS)
+        assert not result.applications
+        assert result.chosen is query
+        assert "(none applied)" in result.explain()
+
+    def test_query_plan_method_uses_engine_statistics(self):
+        relation = Relation(RelationSchema("R", ("A", "B")), [(1, 2)])
+        database = Database([relation])
+        result = BaseRelation("R").select(eq("A", 1)).plan(database)
+        assert isinstance(result, Plan)
+        assert result.statistics.row_count("R") == 1
+
+
+class TestQueryRun:
+    @pytest.fixture
+    def orset(self):
+        return OrSetRelation.from_dicts(
+            "R",
+            ["A", "B", "C"],
+            [
+                {"A": 1, "B": OrSet([1, 2]), "C": 7},
+                {"A": OrSet([4, 5]), "B": 3, "C": 0},
+                {"A": 6, "B": 6, "C": OrSet([7, 0])},
+            ],
+        )
+
+    @pytest.fixture
+    def join_query(self):
+        left = BaseRelation("R").rename("A", "A1").rename("B", "B1").rename("C", "C1")
+        right = BaseRelation("R").rename("A", "A2").rename("B", "B2").rename("C", "C2")
+        return (
+            left.product(right)
+            .select(attr_eq("B1", "A2"))
+            .select(gt("C1", 0))
+            .project(["A1", "A2"])
+        )
+
+    def test_run_on_database(self, small_relation):
+        database = Database([small_relation])
+        query = BaseRelation("Emp").select(eq("DEPT", "eng")).project(["NAME"])
+        optimized = query.run(database, "names", optimize=True)
+        raw = query.run(database, "names", optimize=False)
+        assert optimized.row_set() == raw.row_set() == {("ann",), ("bob",)}
+
+    def test_run_rejects_unknown_engine(self):
+        with pytest.raises(QueryError):
+            BaseRelation("R").run(object())
+
+    def test_run_planned_matches_unplanned_on_uwsdt(self, orset, join_query):
+        planned = UWSDT.from_orset_relation(orset)
+        unplanned = UWSDT.from_orset_relation(orset)
+        join_query.run(planned, "P", optimize=True)
+        join_query.run(unplanned, "P", optimize=False)
+        planned.validate()
+        assert _distribution(planned.rep(), "P") == pytest.approx(
+            _distribution(unplanned.rep(), "P")
+        )
+
+    def test_run_planned_matches_unplanned_on_wsd(self, orset, join_query):
+        planned = WSD.from_orset_relation(orset)
+        unplanned = WSD.from_orset_relation(orset)
+        join_query.run(planned, "P", optimize=True)
+        join_query.run(unplanned, "P", optimize=False)
+        assert _distribution(planned.rep(), "P") == pytest.approx(
+            _distribution(unplanned.rep(), "P")
+        )
+
+    def test_run_accepts_prebuilt_plan(self, orset, join_query):
+        uwsdt = UWSDT.from_orset_relation(orset)
+        prebuilt = join_query.plan(uwsdt)
+        join_query.run(uwsdt, "P", plan=prebuilt)
+        reference = UWSDT.from_orset_relation(orset)
+        join_query.run(reference, "P", optimize=False)
+        assert _distribution(uwsdt.rep(), "P") == pytest.approx(
+            _distribution(reference.rep(), "P")
+        )
+
+
+class TestIndexing:
+    def test_index_pool_caches_until_mutation(self):
+        relation = Relation(RelationSchema("R", ("A", "B")), [(1, 2), (3, 4)])
+        pool = IndexPool()
+        first = pool.hash_index(relation, ("A",))
+        assert pool.hash_index(relation, ("A",)) is first
+        relation.insert((5, 6))
+        second = pool.hash_index(relation, ("A",))
+        assert second is not first
+        assert second.lookup(5) == [(5, 6)]
+
+    def test_relation_version_counts_effective_mutations(self):
+        relation = Relation(RelationSchema("R", ("A",)))
+        start = relation.version
+        relation.insert((1,))
+        assert relation.version == start + 1
+        relation.insert((1,))  # duplicate: no-op
+        assert relation.version == start + 1
+        relation.remove((1,))
+        assert relation.version == start + 2
+
+    def test_select_with_index_probe(self, small_relation):
+        from repro.relational import algebra
+
+        index = HashIndex(small_relation, ("DEPT",))
+        probed = algebra.select(small_relation, eq("DEPT", "hr"), index=index)
+        scanned = algebra.select(small_relation, eq("DEPT", "hr"))
+        assert probed.row_set() == scanned.row_set()
+
+    def test_uwsdt_template_index_cached(self):
+        orset = OrSetRelation.from_dicts(
+            "R", ["A", "B"], [{"A": 1, "B": 2}, {"A": OrSet([3, 4]), "B": 5}]
+        )
+        uwsdt = UWSDT.from_orset_relation(orset)
+        first = uwsdt.template_index("R", "A")
+        assert uwsdt.template_index("R", "A") is first
+        uwsdt.add_template_tuple("R", 99, (7, 8))
+        assert uwsdt.template_index("R", "A") is not first
+
+
+def _distribution(worldset, relation_name):
+    distribution = {}
+    for world in worldset:
+        key = frozenset(world.database.relation(relation_name).rows)
+        probability = world.probability if world.probability is not None else 1.0
+        distribution[key] = distribution.get(key, 0.0) + probability
+    return {key: distribution[key] for key in sorted(distribution, key=repr)}

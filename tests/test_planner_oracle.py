@@ -1,0 +1,184 @@
+"""The possible-worlds oracle: four evaluation strategies must agree.
+
+For random small or-set relations and random query trees, the following
+must produce the same distribution over result relations:
+
+1. **planned UWSDT** evaluation (``Query.run(..., optimize=True)``),
+2. **unplanned UWSDT** evaluation (the AST executed verbatim),
+3. **WSD** evaluation (the Figure 9 operators),
+4. **brute force**: enumerate ``rep(W)`` world by world, evaluate the query
+   classically in every world (Theorem 1's right-hand side).
+
+This is the strongest correctness statement the planner can make: every
+rewrite rule, every cost-model decision and every index fast path is
+squeezed through the paper's semantics on thousands of random plans.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import naive
+from repro.core import UWSDT, WSD
+from repro.core.algebra import BaseRelation
+from repro.relational import And, AttrAttr, AttrConst, Or
+from repro.worlds import OrSet, OrSetRelation
+
+from _fixtures import assert_same_result_distribution, orset_relations
+
+#: The fixed schema of the generated base relation.
+BASE_ATTRS = ("A0", "A1")
+
+#: Domain of constants in generated predicates (matches orset_relations).
+constants = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def predicates(draw, attrs):
+    """Random predicates over the given attributes."""
+    kind = draw(st.sampled_from(["const", "const", "attr", "and", "or"]))
+    attr = draw(st.sampled_from(sorted(attrs)))
+    op = draw(st.sampled_from(["=", "!=", "<", ">="]))
+    if kind == "attr" and len(attrs) >= 2:
+        other = draw(st.sampled_from(sorted(set(attrs) - {attr})))
+        return AttrAttr(attr, draw(st.sampled_from(["=", "<"])), other)
+    if kind in ("and", "or"):
+        left = AttrConst(attr, op, draw(constants))
+        other_attr = draw(st.sampled_from(sorted(attrs)))
+        right = AttrConst(other_attr, draw(st.sampled_from(["=", ">"])), draw(constants))
+        return And(left, right) if kind == "and" else Or(left, right)
+    return AttrConst(attr, op, draw(constants))
+
+
+def _schema_preserving(draw, attrs):
+    """A selection chain over the base relation (keeps the base schema)."""
+    query = BaseRelation("R")
+    for _ in range(draw(st.integers(min_value=0, max_value=1))):
+        query = query.select(draw(predicates(attrs)))
+    return query
+
+
+@st.composite
+def query_trees(draw, depth=2):
+    """Random query trees over ``R`` with known output attributes."""
+    query, attrs = _tree(draw, depth, counter=[0])
+    return query
+
+
+def _tree(draw, depth, counter):
+    if depth == 0:
+        return BaseRelation("R"), BASE_ATTRS
+    op = draw(
+        st.sampled_from(
+            [
+                "base",
+                "select",
+                "select",
+                "project",
+                "rename",
+                "union",
+                "difference",
+                "product",
+                "join",
+            ]
+        )
+    )
+    if op == "base":
+        return BaseRelation("R"), BASE_ATTRS
+    if op == "select":
+        child, attrs = _tree(draw, depth - 1, counter)
+        return child.select(draw(predicates(attrs))), attrs
+    if op == "project":
+        child, attrs = _tree(draw, depth - 1, counter)
+        keep = tuple(a for a in attrs if draw(st.booleans()))
+        if not keep:
+            keep = (attrs[0],)
+        return child.project(keep), keep
+    if op == "rename":
+        child, attrs = _tree(draw, depth - 1, counter)
+        old = draw(st.sampled_from(sorted(attrs)))
+        new = f"Z{draw(st.integers(min_value=0, max_value=2))}"
+        if new in attrs:
+            return child, attrs
+        return child.rename(old, new), tuple(new if a == old else a for a in attrs)
+    if op in ("union", "difference"):
+        left = _schema_preserving(draw, BASE_ATTRS)
+        right = _schema_preserving(draw, BASE_ATTRS)
+        if op == "union":
+            return left.union(right), BASE_ATTRS
+        return left.difference(right), BASE_ATTRS
+    # product / join: the right side is a fully renamed copy of R so the
+    # attribute sets are disjoint (the counter keeps nested products apart).
+    left, left_attrs = _tree(draw, depth - 1, counter)
+    right = BaseRelation("R")
+    right_attrs = []
+    for attribute in BASE_ATTRS:
+        fresh = f"W{counter[0]}"
+        counter[0] += 1
+        right = right.rename(attribute, fresh)
+        right_attrs.append(fresh)
+    if op == "product":
+        return left.product(right), tuple(left_attrs) + tuple(right_attrs)
+    left_attr = draw(st.sampled_from(sorted(left_attrs)))
+    right_attr = draw(st.sampled_from(sorted(right_attrs)))
+    return left.join(right, left_attr, right_attr), tuple(left_attrs) + tuple(right_attrs)
+
+
+def check_against_oracle(orset_relation, query):
+    """All four strategies must yield the same result-world distribution."""
+    base_wsd = WSD.from_orset_relation(orset_relation)
+    # 4) brute force: evaluate classically in every enumerated world.
+    reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+
+    # 1) planned UWSDT evaluation.
+    planned = UWSDT.from_orset_relation(orset_relation)
+    query.run(planned, "P", optimize=True)
+    planned.validate()
+    assert_same_result_distribution(planned.rep(), reference, "P")
+
+    # 2) unplanned UWSDT evaluation.
+    unplanned = UWSDT.from_orset_relation(orset_relation)
+    query.run(unplanned, "P", optimize=False)
+    unplanned.validate()
+    assert_same_result_distribution(unplanned.rep(), reference, "P")
+
+    # 3) WSD evaluation (planned: the same rewritten tree must also agree).
+    wsd = WSD.from_orset_relation(orset_relation)
+    query.run(wsd, "P", optimize=True)
+    assert_same_result_distribution(wsd.rep(), reference, "P")
+
+
+class TestPossibleWorldsOracle:
+    @given(
+        orset_relations(max_rows=2, max_attrs=2, max_alternatives=2),
+        query_trees(depth=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_plans_match_brute_force(self, relation, query):
+        if relation.schema.attributes != BASE_ATTRS:
+            relation = _pad_to_base_schema(relation)
+        check_against_oracle(relation, query)
+
+    @given(orset_relations(max_rows=2, max_attrs=2, max_alternatives=2))
+    @settings(max_examples=20, deadline=None)
+    def test_fused_join_query_matches_brute_force(self, relation):
+        """The σ(A=B)∘× → join fusion path, exercised explicitly."""
+        if relation.schema.attributes != BASE_ATTRS:
+            relation = _pad_to_base_schema(relation)
+        right = BaseRelation("R").rename("A0", "W0").rename("A1", "W1")
+        query = (
+            BaseRelation("R")
+            .product(right)
+            .select(AttrAttr("A1", "=", "W0"))
+            .project(["A0", "W1"])
+        )
+        check_against_oracle(relation, query)
+
+
+def _pad_to_base_schema(relation):
+    """Extend a 1-attribute generated relation to the fixed two-attribute schema."""
+    padded = OrSetRelation.from_dicts("R", list(BASE_ATTRS), [])
+    for row in relation.rows:
+        values = list(row) + [0] * (len(BASE_ATTRS) - len(row))
+        padded.insert(tuple(values))
+    return padded

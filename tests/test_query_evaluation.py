@@ -23,25 +23,11 @@ from repro.core.algebra import (
 from repro.relational import And, Database, Or, QueryError, attr_eq, eq, gt, ne
 from repro.worlds import OrSet, OrSetRelation
 
-from conftest import orset_relations
-
-
-def result_distribution(worldset, relation_name="P"):
-    """Map each world to (frozenset of result rows) -> total probability."""
-    distribution = {}
-    for world in worldset:
-        key = frozenset(world.database.relation(relation_name).rows)
-        probability = world.probability if world.probability is not None else 1.0
-        distribution[key] = distribution.get(key, 0.0) + probability
-    return distribution
-
-
-def assert_same_result_distribution(left, right, relation_name="P"):
-    first = result_distribution(left, relation_name)
-    second = result_distribution(right, relation_name)
-    assert set(first) == set(second)
-    for key in first:
-        assert first[key] == pytest.approx(second[key], abs=1e-9)
+from _fixtures import (
+    assert_same_result_distribution,
+    orset_relations,
+    result_distribution,
+)
 
 
 def check_query_on_both_engines(orset_relation, query, relation_name="P"):
