@@ -18,8 +18,9 @@ import pytest
 
 from repro.bench import census_instance, density_label
 from repro.census import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
+from repro.census.queries import q_four_way_join
 from repro.core.algebra import evaluate_on_database, evaluate_on_uwsdt
-from repro.core.planner import Statistics, plan
+from repro.core.planner import Statistics, describe_join_order, plan
 
 from _bench_config import base_rows
 
@@ -76,6 +77,7 @@ PLANNER_DENSITIES = (0.0, 0.001)
 PLANNER_QUERIES = {
     "Q5xσ": q5_product_form,
     "Q6⋈Q6": q6_self_join_product_form,
+    "Q4way": q_four_way_join,
 }
 
 
@@ -87,10 +89,13 @@ PLANNER_QUERIES = {
 def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
     """One planned-vs-unplanned point: the same AST with and without the planner.
 
-    The headline row is ``Q6⋈Q6``: executed verbatim it materializes a
-    quadratic product template, while the planner fuses the selection into
-    an equi-join — the gap is the tentpole speedup this subsystem exists
-    for.
+    Two headline rows: ``Q6⋈Q6`` (executed verbatim it materializes a
+    quadratic product template; the planner fuses the selection into an
+    equi-join) and ``Q4way`` (a 4-way join written in a pessimal order; the
+    join-order enumerator defers the skewed ``CITIZEN`` join to last — ≥5×
+    on the UWSDT at default sizes).  The chosen join order is recorded per
+    (query, size) in the benchmark JSON so the trajectory of planner
+    decisions accumulates alongside the timings.
     """
     rows = base_rows()
     instance = census_instance(rows, density)
@@ -121,3 +126,6 @@ def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
     benchmark.extra_info["density"] = density_label(density)
     benchmark.extra_info["query"] = query_name
     benchmark.extra_info["optimize"] = optimize
+    benchmark.extra_info["join_order"] = (
+        built_plan.join_order if optimize else describe_join_order(query)
+    )

@@ -3,6 +3,7 @@
 from .harness import (
     DEFAULT_SIZES,
     PAPER_DENSITIES,
+    PLANNER_BENCH_QUERIES,
     CensusInstance,
     census_instance,
     clear_instance_cache,
@@ -19,6 +20,7 @@ from .harness import (
 __all__ = [
     "DEFAULT_SIZES",
     "PAPER_DENSITIES",
+    "PLANNER_BENCH_QUERIES",
     "CensusInstance",
     "census_instance",
     "clear_instance_cache",

@@ -19,7 +19,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..census.dependencies import census_dependencies
 from ..census.generator import CensusGenerator
-from ..census.queries import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
+from ..census.queries import (
+    CENSUS_QUERIES,
+    q5_product_form,
+    q6_self_join_product_form,
+    q_four_way_join,
+)
 from ..census.schema import CENSUS_RELATION
 from ..core.algebra.query import Query, evaluate_on_database, evaluate_on_uwsdt
 from ..core.chase import chase_uwsdt
@@ -30,6 +35,15 @@ from ..relational.relation import Relation
 
 #: The placeholder densities used throughout the paper's evaluation.
 PAPER_DENSITIES: Tuple[float, ...] = (0.00005, 0.0001, 0.0005, 0.001)
+
+#: Query factories for the planned-vs-unplanned experiment, by headline:
+#: join *fusion* (σ∘× → ⋈) for the product forms, join *ordering* for the
+#: 4-way chain.
+PLANNER_BENCH_QUERIES: Dict[str, Callable[[], "Query"]] = {
+    "q6_self_join": q6_self_join_product_form,
+    "q5_product": q5_product_form,
+    "four_way": q_four_way_join,
+}
 
 #: Human-readable labels for the densities (matching the paper's axis labels).
 DENSITY_LABELS: Dict[float, str] = {
@@ -318,9 +332,11 @@ def run_planner_experiment(
     unplanned AST materializes a genuinely quadratic product template while
     the planner's σ(A=B)∘× → ⋈ fusion keeps it near-linear
     (:func:`~repro.census.queries.q5_product_form` is the paper-faithful but
-    highly selective alternative).  Each record reports both wall-clock
-    times, the speedup, and the planner's own cost estimates for
-    cross-checking the model against reality.
+    highly selective alternative, and
+    :func:`~repro.census.queries.q_four_way_join` exercises the join-order
+    enumerator instead of the fusion rule).  Each record reports both
+    wall-clock times, the speedup, the chosen join order, and the planner's
+    own cost estimates for cross-checking the model against reality.
     """
     factory = query_factory or q6_self_join_product_form
     records: List[Dict[str, Any]] = []
@@ -362,6 +378,7 @@ def run_planner_experiment(
                     "estimated_cost_before": built_plan.cost_before.cost,
                     "estimated_cost_after": built_plan.cost_after.cost,
                     "rewrites": len(built_plan.applications),
+                    "join_order": built_plan.join_order,
                 }
             )
     return records

@@ -14,10 +14,12 @@ from .queries import (
     q2,
     q3,
     q4,
+    q4_citizen,
     q5,
     q5_product_form,
     q6,
     q6_self_join_product_form,
+    q_four_way_join,
     query_names,
 )
 from .schema import (
@@ -38,10 +40,12 @@ __all__ = [
     "q2",
     "q3",
     "q4",
+    "q4_citizen",
     "q5",
     "q5_product_form",
     "q6",
     "q6_self_join_product_form",
+    "q_four_way_join",
     "query_names",
     "CENSUS_RELATION",
     "TOTAL_ATTRIBUTES",

@@ -76,6 +76,47 @@ def q5_product_form(relation: str = CENSUS_RELATION) -> Query:
     )
 
 
+def q4_citizen(relation: str = CENSUS_RELATION) -> Query:
+    """``π_{POWSTATE,CITIZEN}(σ_{FERTIL=1}(R))`` — the unselective Q4 "no
+    children" filter (~25 % of the relation) with the heavily skewed
+    ``CITIZEN`` column kept (85 % share one value)."""
+    return (
+        BaseRelation(relation).select(eq("FERTIL", 1)).project(["POWSTATE", "CITIZEN"])
+    )
+
+
+def q_four_way_join(relation: str = CENSUS_RELATION) -> Query:
+    """A 4-way census join written in a pessimal left-deep order.
+
+    Leaves: two renamed copies of the *unselective* :func:`q4_citizen`
+    (``A``, ``B`` — ~25 % of the relation each) and two renamed copies of
+    the *selective* :func:`q3` (``C``, ``D`` — a handful of tuples).  The
+    written order is ``((A ⋈_{C1=C2} B) ⋈_{W1=P3} C) ⋈_{P3=P4} D``: the
+    first join matches on ``CITIZEN`` (selectivity ≈ 0.73 under the census
+    skew), materializing a near-quadratic intermediate template before the
+    selective Q3 copies ever filter it.  The join-order enumerator's
+    sampled selectivities see exactly that skew and start from the Q3
+    copies instead — this query is the planned-vs-unplanned benchmark
+    headline for join-order search, complementing the 2-way fusion headline
+    of :func:`q6_self_join_product_form`.
+    """
+    a = q4_citizen(relation).rename("POWSTATE", "W1").rename("CITIZEN", "C1")
+    b = q4_citizen(relation).rename("POWSTATE", "W2").rename("CITIZEN", "C2")
+    c = (
+        q3(relation)
+        .rename("POWSTATE", "P3")
+        .rename("MARITAL", "M3")
+        .rename("FERTIL", "F3")
+    )
+    d = (
+        q3(relation)
+        .rename("POWSTATE", "P4")
+        .rename("MARITAL", "M4")
+        .rename("FERTIL", "F4")
+    )
+    return a.join(b, "C1", "C2").join(c, "W1", "P3").join(d, "P3", "P4")
+
+
 def q6(relation: str = CENSUS_RELATION) -> Query:
     """``Q6 := π_{POWSTATE,POB}(σ_{ENGLISH=3}(R))``."""
     return BaseRelation(relation).select(eq("ENGLISH", 3)).project(["POWSTATE", "POB"])

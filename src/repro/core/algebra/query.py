@@ -25,7 +25,7 @@ from ...relational import algebra as relational_algebra
 from ...relational.database import Database
 from ...relational.errors import QueryError
 from ...relational.indexes import IndexPool
-from ...relational.predicates import AttrAttr, AttrConst, Predicate
+from ...relational.predicates import AttrConst, Predicate
 from ...relational.relation import Relation
 from ..uwsdt import UWSDT
 from ..wsd import WSD
@@ -61,6 +61,26 @@ class Query:
     def children(self) -> Tuple["Query", ...]:
         raise NotImplementedError
 
+    def with_children(self, children: Tuple["Query", ...]) -> "Query":
+        """Clone this node with new children (used by the planner's rewrites)."""
+        if isinstance(self, BaseRelation):
+            return self
+        if isinstance(self, Select):
+            return Select(children[0], self.predicate)
+        if isinstance(self, Project):
+            return Project(children[0], self.attributes)
+        if isinstance(self, Rename):
+            return Rename(children[0], self.old, self.new)
+        if isinstance(self, Product):
+            return Product(children[0], children[1])
+        if isinstance(self, Union):
+            return Union(children[0], children[1])
+        if isinstance(self, Difference):
+            return Difference(children[0], children[1])
+        if isinstance(self, Join):
+            return Join(children[0], children[1], self.left_attr, self.right_attr)
+        raise TypeError(f"cannot rebuild {self!r}")
+
     def base_relations(self) -> List[str]:
         """Names of base relations referenced by the query."""
         names: List[str] = []
@@ -82,7 +102,9 @@ class Query:
         from ..planner import Statistics, plan as build_plan
 
         if statistics is None and engine is not None:
-            statistics = Statistics.from_engine(engine)
+            statistics = Statistics.from_engine(
+                engine, sample_relations=tuple(self.base_relations())
+            )
         return build_plan(self, statistics)
 
     def run(self, engine, result_name: str = "result", optimize: bool = True, plan=None):
@@ -308,9 +330,18 @@ def _evaluate_db(query: Query, database: Database, pool: Optional[IndexPool] = N
 # --------------------------------------------------------------------------- #
 
 
-def _name_generator(prefix: str) -> Iterator[str]:
+def _name_generator(prefix: str, schema=None) -> Iterator[str]:
+    """Fresh intermediate relation names, skipping any already in ``schema``.
+
+    The skip matters when several queries run against the same (in-place
+    extended) representation: each evaluation restarts the counter, and
+    ``__q1`` from an earlier run is still part of the schema.
+    """
     for index in itertools.count(1):
-        yield f"{prefix}{index}"
+        name = f"{prefix}{index}"
+        if schema is not None and schema.has_relation(name):
+            continue
+        yield name
 
 
 def evaluate_on_wsd(query: Query, wsd: WSD, result_name: str = "result") -> str:
@@ -319,7 +350,7 @@ def evaluate_on_wsd(query: Query, wsd: WSD, result_name: str = "result") -> str:
     The WSD is extended with one relation per operator of the query; the
     final operator's output is named ``result_name``.
     """
-    names = _name_generator("__q")
+    names = _name_generator("__q", wsd.schema)
     final = _evaluate_wsd(query, wsd, names, result_name)
     return final
 
@@ -375,10 +406,8 @@ def _evaluate_wsd(query: Query, wsd: WSD, names: Iterator[str], result_name: Opt
     if isinstance(query, Join):
         left = _evaluate_wsd(query.left, wsd, names, None)
         right = _evaluate_wsd(query.right, wsd, names, None)
-        intermediate = next(names)
-        wsd_ops.product(wsd, left, right, intermediate)
         target = fresh()
-        wsd_ops.select(wsd, intermediate, target, AttrAttr(query.left_attr, "=", query.right_attr))
+        wsd_ops.equi_join(wsd, left, right, query.left_attr, query.right_attr, target)
         return target
     raise QueryError(f"unknown query node {query!r}")
 
@@ -390,7 +419,7 @@ def _evaluate_wsd(query: Query, wsd: WSD, names: Iterator[str], result_name: Opt
 
 def evaluate_on_uwsdt(query: Query, uwsdt: UWSDT, result_name: str = "result") -> str:
     """Evaluate ``query`` on ``uwsdt`` in place; return the result relation's name."""
-    names = _name_generator("__q")
+    names = _name_generator("__q", uwsdt.schema)
     return _evaluate_uwsdt(query, uwsdt, names, result_name)
 
 

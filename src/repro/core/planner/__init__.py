@@ -1,16 +1,46 @@
 """Logical query planner: rewrite rules + cost model over :class:`Query` ASTs.
 
-* :mod:`repro.core.planner.rules`   — semantics-preserving rewrites
+* :mod:`repro.core.planner.rules`    — semantics-preserving rewrites
   (selection pushdown, σ(A=B)∘× → equi-join fusion, projection pushdown,
-  rename elimination).
-* :mod:`repro.core.planner.cost`    — cardinality/width cost model fed by
-  template-row counts and component statistics.
-* :mod:`repro.core.planner.planner` — the fixpoint driver and the
+  rename elimination, join-order search).
+* :mod:`repro.core.planner.cost`     — cardinality/width cost model with
+  per-engine operator constants, fed by template-row counts, component
+  statistics and bounded row samples.
+* :mod:`repro.core.planner.sampling` — reservoir samples of template rows;
+  sampled predicate/join selectivities and distinct counts.
+* :mod:`repro.core.planner.joins`    — join-graph extraction and the
+  Selinger-style bushy-plan enumerator (DP ≤ 8 relations, greedy above).
+* :mod:`repro.core.planner.planner`  — the fixpoint driver and the
   inspectable :class:`Plan` (``plan.explain()``).
 """
 
-from .cost import CostEstimate, Statistics, estimate, output_attributes, predicate_selectivity
-from .planner import Plan, RuleApplication, plan, plan_for_engine, rewrite
+from .cost import (
+    COST_MODELS,
+    CostEstimate,
+    CostModel,
+    Statistics,
+    equality_join_selectivity,
+    estimate,
+    output_attributes,
+    predicate_selectivity,
+    selection_selectivity,
+)
+from .joins import (
+    GREEDY_THRESHOLD,
+    JoinGraph,
+    MIN_REORDER_RELATIONS,
+    enumerate_plan,
+    extract_join_graph,
+    reorder_tree,
+)
+from .planner import (
+    Plan,
+    RuleApplication,
+    describe_join_order,
+    plan,
+    plan_for_engine,
+    rewrite,
+)
 from .rules import (
     DEFAULT_PHASES,
     EliminateRename,
@@ -19,21 +49,39 @@ from .rules import (
     MergeSelects,
     PushProjectDown,
     PushSelectDown,
+    ReorderJoins,
     RewriteContext,
     RewriteRule,
     conjunction,
     conjuncts,
     substitute_attributes,
 )
+from .sampling import (
+    DEFAULT_SAMPLE_SIZE,
+    RelationSample,
+    join_selectivity,
+    reservoir,
+)
 
 __all__ = [
+    "COST_MODELS",
     "CostEstimate",
+    "CostModel",
     "Statistics",
+    "equality_join_selectivity",
     "estimate",
     "output_attributes",
     "predicate_selectivity",
+    "selection_selectivity",
+    "GREEDY_THRESHOLD",
+    "JoinGraph",
+    "MIN_REORDER_RELATIONS",
+    "enumerate_plan",
+    "extract_join_graph",
+    "reorder_tree",
     "Plan",
     "RuleApplication",
+    "describe_join_order",
     "plan",
     "plan_for_engine",
     "rewrite",
@@ -44,9 +92,14 @@ __all__ = [
     "MergeSelects",
     "PushProjectDown",
     "PushSelectDown",
+    "ReorderJoins",
     "RewriteContext",
     "RewriteRule",
     "conjunction",
     "conjuncts",
     "substitute_attributes",
+    "DEFAULT_SAMPLE_SIZE",
+    "RelationSample",
+    "join_selectivity",
+    "reservoir",
 ]

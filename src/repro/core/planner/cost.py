@@ -1,9 +1,8 @@
 """Cost model for the logical planner.
 
-The planner compares rewritten plans through a deliberately simple cost
-model: estimated operator work as a function of input cardinalities.  The
-cardinalities come from :class:`Statistics`, which every engine can produce
-cheaply —
+The planner compares rewritten plans through a simple cost model: estimated
+operator work as a function of input cardinalities.  The cardinalities come
+from :class:`Statistics`, which every engine can produce cheaply —
 
 * a :class:`~repro.relational.database.Database` reports relation sizes,
 * a :class:`~repro.core.wsd.WSD` reports tuple counts per relation plus the
@@ -11,6 +10,18 @@ cheaply —
 * a :class:`~repro.core.uwsdt.UWSDT` reports template-row counts plus the
   placeholder density per template (the quantity the paper's Figure 27
   tracks as ``|R|`` and ``#comp``).
+
+Since PR 3 the statistics also carry a bounded reservoir *sample* of each
+relation's template rows (:mod:`~repro.core.planner.sampling`): predicate
+and join selectivities are estimated from the sample whenever one is
+available, and fall back to the fixed constants (``EQUALITY_SELECTIVITY``
+etc.) otherwise — so schema-only planning keeps working unchanged.
+
+Per-operator constants are engine-specific (:class:`CostModel`): a WSD
+product pays component ``ext`` copies per output tuple while a classical
+product just concatenates rows, and the difference operator composes
+components pairwise on both representation engines.  The planner only ever
+compares plans for the *same* engine, so only the constants' ratios matter.
 
 Uncertainty matters to cost: a selection over a template keeps every tuple
 whose referenced field is a placeholder (lines 2–6 of Figure 16), so its
@@ -20,7 +31,7 @@ effective selectivity is ``s + d·(1 − s)`` for placeholder density ``d``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ...relational.predicates import And, AttrAttr, AttrConst, Not, Or, Predicate, TruePredicate
 from ..algebra.query import (
@@ -34,25 +45,112 @@ from ..algebra.query import (
     Select,
     Union,
 )
+from .sampling import (
+    DEFAULT_SAMPLE_SIZE,
+    RelationSample,
+    join_selectivity,
+    sample_database,
+    sample_uwsdt,
+    sample_wsd,
+)
 
 #: Cardinality assumed for relations the statistics do not know about.
 DEFAULT_ROW_COUNT = 1_000
 
-#: Assumed selectivity of an equality atom ``A = c`` / ``A = B``.
+#: Assumed selectivity of an equality atom ``A = c`` / ``A = B`` when no
+#: sample is available.
 EQUALITY_SELECTIVITY = 0.1
 
 #: Assumed selectivity of a range atom (``<``, ``<=``, ``>``, ``>=``).
 RANGE_SELECTIVITY = 1.0 / 3.0
 
 
+@dataclass(frozen=True)
+class CostModel:
+    """Per-engine cost constants, in units of "one tuple through one operator".
+
+    The constants were calibrated by timing each operator on the census
+    workload at bench sizes and normalizing to the classical select:
+
+    * ``Database`` operators move plain tuples; the hash join's build and
+      probe are as cheap as a scan.
+    * ``WSD`` operators copy component columns (``ext``) per output tuple
+      and ``select``/``project`` run the per-local-world machinery of
+      Figure 9; ``difference`` composes components pairwise.
+    * ``UWSDT`` operators are template-relation work plus component ``ext``
+      only for placeholder fields — cheaper than WSD, dearer than classical.
+    """
+
+    name: str = "generic"
+    select_tuple: float = 1.0
+    project_tuple: float = 1.0
+    rename_tuple: float = 1.0
+    union_tuple: float = 1.0
+    emit_tuple: float = 1.0
+    join_build: float = 1.0
+    join_probe: float = 1.0
+    difference_pair: float = 1.0
+
+
+#: Back-compatible defaults: with every constant at 1.0 the formulas reduce
+#: to the PR 1 cost model exactly.
+GENERIC_COST = CostModel()
+
+DATABASE_COST = CostModel(
+    name="database",
+    select_tuple=0.5,
+    project_tuple=0.6,
+    rename_tuple=0.4,
+    union_tuple=0.8,
+    emit_tuple=1.0,
+    join_build=1.0,
+    join_probe=1.0,
+    difference_pair=0.8,
+)
+
+WSD_COST = CostModel(
+    name="wsd",
+    select_tuple=2.5,
+    project_tuple=3.0,
+    rename_tuple=2.0,
+    union_tuple=2.0,
+    emit_tuple=6.0,
+    join_build=1.5,
+    join_probe=1.5,
+    difference_pair=25.0,
+)
+
+UWSDT_COST = CostModel(
+    name="uwsdt",
+    select_tuple=1.0,
+    project_tuple=1.5,
+    rename_tuple=1.8,
+    union_tuple=1.2,
+    emit_tuple=2.5,
+    join_build=1.0,
+    join_probe=1.0,
+    difference_pair=15.0,
+)
+
+#: Cost models keyed by ``Statistics.engine``.
+COST_MODELS: Dict[str, CostModel] = {
+    "generic": GENERIC_COST,
+    "database": DATABASE_COST,
+    "wsd": WSD_COST,
+    "uwsdt": UWSDT_COST,
+}
+
+
 class Statistics:
-    """Per-relation cardinality and uncertainty statistics feeding the cost model."""
+    """Per-relation cardinality/uncertainty statistics feeding the cost model."""
 
     def __init__(
         self,
         row_counts: Optional[Mapping[str, int]] = None,
         placeholder_densities: Optional[Mapping[str, float]] = None,
         attributes: Optional[Mapping[str, Tuple[str, ...]]] = None,
+        samples: Optional[Mapping[str, RelationSample]] = None,
+        engine: str = "generic",
     ) -> None:
         self.row_counts: Dict[str, int] = dict(row_counts or {})
         self.placeholder_densities: Dict[str, float] = dict(placeholder_densities or {})
@@ -60,18 +158,37 @@ class Statistics:
         self.attributes: Dict[str, Tuple[str, ...]] = {
             name: tuple(attrs) for name, attrs in (attributes or {}).items()
         }
+        #: Bounded reservoir samples keyed by relation name (may be empty).
+        self.samples: Dict[str, RelationSample] = dict(samples or {})
+        #: Which engine these statistics describe (selects the CostModel).
+        self.engine = engine
 
     # -- constructors ------------------------------------------------------ #
 
     @classmethod
-    def from_database(cls, database: Any) -> "Statistics":
+    def from_database(
+        cls,
+        database: Any,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        sample_relations: Optional[Tuple[str, ...]] = None,
+    ) -> "Statistics":
         rows = {relation.schema.name: len(relation) for relation in database}
         attrs = {relation.schema.name: relation.schema.attributes for relation in database}
         densities = {name: 0.0 for name in rows}
-        return cls(rows, densities, attrs)
+        samples = (
+            sample_database(database, sample_size, only=sample_relations)
+            if sample_size
+            else {}
+        )
+        return cls(rows, densities, attrs, samples, engine="database")
 
     @classmethod
-    def from_wsd(cls, wsd: Any) -> "Statistics":
+    def from_wsd(
+        cls,
+        wsd: Any,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        sample_relations: Optional[Tuple[str, ...]] = None,
+    ) -> "Statistics":
         rows = {name: len(ids) for name, ids in wsd.tuple_ids.items()}
         attrs = {rs.name: rs.attributes for rs in wsd.schema}
         uncertain: Dict[str, int] = {}
@@ -84,10 +201,16 @@ class Statistics:
         for rs in wsd.schema:
             fields = max(1, rows.get(rs.name, 0) * rs.arity)
             densities[rs.name] = min(1.0, uncertain.get(rs.name, 0) / fields)
-        return cls(rows, densities, attrs)
+        samples = sample_wsd(wsd, sample_size, only=sample_relations) if sample_size else {}
+        return cls(rows, densities, attrs, samples, engine="wsd")
 
     @classmethod
-    def from_uwsdt(cls, uwsdt: Any) -> "Statistics":
+    def from_uwsdt(
+        cls,
+        uwsdt: Any,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        sample_relations: Optional[Tuple[str, ...]] = None,
+    ) -> "Statistics":
         rows = {rs.name: uwsdt.template_size(rs.name) for rs in uwsdt.schema}
         attrs = {rs.name: rs.attributes for rs in uwsdt.schema}
         placeholders: Dict[str, int] = {}
@@ -97,21 +220,34 @@ class Statistics:
         for rs in uwsdt.schema:
             fields = max(1, rows.get(rs.name, 0) * rs.arity)
             densities[rs.name] = min(1.0, placeholders.get(rs.name, 0) / fields)
-        return cls(rows, densities, attrs)
+        samples = (
+            sample_uwsdt(uwsdt, sample_size, only=sample_relations) if sample_size else {}
+        )
+        return cls(rows, densities, attrs, samples, engine="uwsdt")
 
     @classmethod
-    def from_engine(cls, engine: Any) -> "Statistics":
-        """Dispatch on the engine type (Database, WSD or UWSDT)."""
+    def from_engine(
+        cls,
+        engine: Any,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        sample_relations: Optional[Tuple[str, ...]] = None,
+    ) -> "Statistics":
+        """Dispatch on the engine type (Database, WSD or UWSDT).
+
+        ``sample_relations`` restricts row sampling to the named relations —
+        planning passes the query's base relations, so relations a query
+        never touches are not scanned.
+        """
         from ...relational.database import Database
         from ..uwsdt import UWSDT
         from ..wsd import WSD
 
         if isinstance(engine, Database):
-            return cls.from_database(engine)
+            return cls.from_database(engine, sample_size, sample_relations)
         if isinstance(engine, UWSDT):
-            return cls.from_uwsdt(engine)
+            return cls.from_uwsdt(engine, sample_size, sample_relations)
         if isinstance(engine, WSD):
-            return cls.from_wsd(engine)
+            return cls.from_wsd(engine, sample_size, sample_relations)
         raise TypeError(f"cannot derive statistics from {type(engine).__name__}")
 
     # -- lookups ----------------------------------------------------------- #
@@ -125,8 +261,20 @@ class Statistics:
     def relation_attributes(self, relation_name: str) -> Optional[Tuple[str, ...]]:
         return self.attributes.get(relation_name)
 
+    def sample(self, relation_name: str) -> Optional[RelationSample]:
+        return self.samples.get(relation_name)
+
+    def cost_model(self) -> CostModel:
+        return COST_MODELS.get(self.engine, GENERIC_COST)
+
+    def without_samples(self) -> "Statistics":
+        """A copy that estimates with the fixed constants only (for explain)."""
+        return Statistics(
+            self.row_counts, self.placeholder_densities, self.attributes, None, self.engine
+        )
+
     def __repr__(self) -> str:
-        return f"Statistics({self.row_counts!r})"
+        return f"Statistics({self.row_counts!r}, engine={self.engine!r})"
 
 
 @dataclass(frozen=True)
@@ -141,7 +289,7 @@ class CostEstimate:
 
 
 def predicate_selectivity(predicate: Predicate) -> float:
-    """Heuristic selectivity of a selection predicate."""
+    """Fixed-constant selectivity of a selection predicate (no sample)."""
     if isinstance(predicate, TruePredicate):
         return 1.0
     if isinstance(predicate, (AttrConst, AttrAttr)):
@@ -164,6 +312,29 @@ def predicate_selectivity(predicate: Predicate) -> float:
     if isinstance(predicate, Not):
         return 1.0 - predicate_selectivity(predicate.inner)
     return 0.5
+
+
+def selection_selectivity(predicate: Predicate, sample: Optional[RelationSample]) -> float:
+    """Sampled selectivity when a sample can answer, fixed constants otherwise."""
+    if sample is not None:
+        sampled = sample.selectivity(predicate)
+        if sampled is not None:
+            return sampled
+    return predicate_selectivity(predicate)
+
+
+def equality_join_selectivity(
+    left_sample: Optional[RelationSample],
+    left_attr: str,
+    right_sample: Optional[RelationSample],
+    right_attr: str,
+) -> float:
+    """Sampled ``A = B`` selectivity across two subplans, or the fixed constant."""
+    if left_sample is not None and right_sample is not None:
+        sampled = join_selectivity(left_sample, left_attr, right_sample, right_attr)
+        if sampled is not None:
+            return sampled
+    return EQUALITY_SELECTIVITY
 
 
 def output_attributes(query: Query, statistics: Statistics) -> Optional[Tuple[str, ...]]:
@@ -199,80 +370,205 @@ def output_attributes(query: Query, statistics: Statistics) -> Optional[Tuple[st
 DEFAULT_ARITY = 4
 
 
-def _width_factor(query: Query, statistics: Statistics) -> float:
+def arity_width(arity: int) -> float:
     """Per-tuple cost factor growing with the tuple width.
 
     Census templates are ~50 attributes wide; materializing a product of two
     of them moves twice as many values per tuple as scanning one.
     """
-    attributes = output_attributes(query, statistics)
-    arity = len(attributes) if attributes is not None else DEFAULT_ARITY
     return 1.0 + 0.1 * arity
 
 
-def _max_density(query: Query, statistics: Statistics) -> float:
-    return max(
-        (statistics.placeholder_density(name) for name in query.base_relations()),
-        default=0.0,
+def _width_factor(query: Query, statistics: Statistics) -> float:
+    attributes = output_attributes(query, statistics)
+    return arity_width(len(attributes) if attributes is not None else DEFAULT_ARITY)
+
+
+# --------------------------------------------------------------------------- #
+# Per-operator steps — shared by estimate() and the join-order enumerator, so
+# a plan assembled by the enumerator costs exactly what estimate() reports.
+# --------------------------------------------------------------------------- #
+
+
+def select_step(
+    rows: float, selectivity: float, density: float, model: CostModel
+) -> Tuple[float, float]:
+    """``(output rows, added cost)`` of a selection over ``rows`` input tuples.
+
+    Placeholder rows survive every selection on the representation (they are
+    filtered world-by-world inside their components), hence the density bump.
+    """
+    effective = selectivity + density * (1.0 - selectivity)
+    return rows * effective, rows * model.select_tuple
+
+
+def join_step(
+    left_rows: float,
+    right_rows: float,
+    selectivity: float,
+    out_arity: int,
+    model: CostModel,
+) -> Tuple[float, float]:
+    """``(output rows, added cost)`` of a hash equi-join: build + probe + emit."""
+    out = left_rows * right_rows * selectivity
+    cost = (
+        left_rows * model.join_build
+        + right_rows * model.join_probe
+        + out * arity_width(out_arity) * model.emit_tuple
     )
+    return out, cost
 
 
-def estimate(query: Query, statistics: Statistics) -> CostEstimate:
+def product_step(
+    left_rows: float, right_rows: float, out_arity: int, model: CostModel
+) -> Tuple[float, float]:
+    """``(output rows, added cost)`` of a cartesian product."""
+    out = left_rows * right_rows
+    return out, out * arity_width(out_arity) * model.emit_tuple
+
+
+def project_step(rows: float, in_arity: int, model: CostModel) -> float:
+    """Added cost of a projection over ``rows`` tuples of ``in_arity`` width."""
+    return rows * arity_width(in_arity) * model.project_tuple
+
+
+# --------------------------------------------------------------------------- #
+# The recursive estimator
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class NodeEstimate:
+    """Internal per-node estimate: cardinality, cost, derived sample, density."""
+
+    rows: float
+    cost: float
+    sample: Optional[RelationSample]
+    density: float
+
+    def as_cost_estimate(self) -> CostEstimate:
+        return CostEstimate(rows=self.rows, cost=self.cost)
+
+
+def estimate(
+    query: Query, statistics: Statistics, model: Optional[CostModel] = None
+) -> CostEstimate:
     """Estimate output cardinality and total work of evaluating ``query``.
 
-    The unit of cost is "one tuple touched by one operator"; constants are
-    uniform across engines because the planner only ever compares plans for
-    the same engine.
+    The unit of cost is "one tuple touched by one operator", scaled by the
+    per-engine constants of ``model`` (defaulting to the model matching
+    ``statistics.engine``).  Selectivities come from the statistics' row
+    samples when available and from the fixed constants otherwise.
     """
+    if model is None:
+        model = statistics.cost_model()
+    return _estimate(query, statistics, model).as_cost_estimate()
+
+
+def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEstimate:
     if isinstance(query, BaseRelation):
-        return CostEstimate(rows=float(statistics.row_count(query.name)), cost=0.0)
+        return NodeEstimate(
+            rows=float(statistics.row_count(query.name)),
+            cost=0.0,
+            sample=statistics.sample(query.name),
+            density=statistics.placeholder_density(query.name),
+        )
     if isinstance(query, Select):
-        child = estimate(query.child, statistics)
-        selectivity = predicate_selectivity(query.predicate)
-        # Placeholder rows survive every selection on the representation
-        # (they are filtered world-by-world inside their components).
-        density = _max_density(query, statistics)
-        effective = selectivity + density * (1.0 - selectivity)
-        return CostEstimate(rows=child.rows * effective, cost=child.cost + child.rows)
+        child = _estimate(query.child, statistics, model)
+        selectivity = selection_selectivity(query.predicate, child.sample)
+        rows, added = select_step(child.rows, selectivity, child.density, model)
+        sample = child.sample.filter(query.predicate) if child.sample is not None else None
+        return NodeEstimate(rows, child.cost + added, sample, child.density)
     if isinstance(query, Project):
-        child = estimate(query.child, statistics)
-        return CostEstimate(
-            rows=child.rows, cost=child.cost + child.rows * _width_factor(query.child, statistics)
+        child = _estimate(query.child, statistics, model)
+        attributes = output_attributes(query.child, statistics)
+        in_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
+        sample = child.sample.project(query.attributes) if child.sample is not None else None
+        return NodeEstimate(
+            child.rows,
+            child.cost + project_step(child.rows, in_arity, model),
+            sample,
+            child.density,
         )
     if isinstance(query, Rename):
-        child = estimate(query.child, statistics)
-        return CostEstimate(rows=child.rows, cost=child.cost + child.rows)
+        child = _estimate(query.child, statistics, model)
+        sample = child.sample.rename(query.old, query.new) if child.sample is not None else None
+        return NodeEstimate(
+            child.rows, child.cost + child.rows * model.rename_tuple, sample, child.density
+        )
     if isinstance(query, Product):
-        left = estimate(query.left, statistics)
-        right = estimate(query.right, statistics)
-        out = left.rows * right.rows
-        return CostEstimate(
-            rows=out, cost=left.cost + right.cost + out * _width_factor(query, statistics)
+        left = _estimate(query.left, statistics, model)
+        right = _estimate(query.right, statistics, model)
+        attributes = output_attributes(query, statistics)
+        out_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
+        rows, added = product_step(left.rows, right.rows, out_arity, model)
+        sample = (
+            left.sample.cross(right.sample)
+            if left.sample is not None and right.sample is not None
+            else None
+        )
+        return NodeEstimate(
+            rows, left.cost + right.cost + added, sample, max(left.density, right.density)
         )
     if isinstance(query, Join):
-        left = estimate(query.left, statistics)
-        right = estimate(query.right, statistics)
-        out = left.rows * right.rows * EQUALITY_SELECTIVITY
-        # Hash join: build + probe + emit.
-        return CostEstimate(
-            rows=out,
-            cost=left.cost
-            + right.cost
-            + left.rows
-            + right.rows
-            + out * _width_factor(query, statistics),
+        left = _estimate(query.left, statistics, model)
+        right = _estimate(query.right, statistics, model)
+        attributes = output_attributes(query, statistics)
+        out_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
+        selectivity = equality_join_selectivity(
+            left.sample, query.left_attr, right.sample, query.right_attr
+        )
+        rows, added = join_step(left.rows, right.rows, selectivity, out_arity, model)
+        sample = (
+            left.sample.equijoin(right.sample, query.left_attr, query.right_attr)
+            if left.sample is not None and right.sample is not None
+            else None
+        )
+        return NodeEstimate(
+            rows, left.cost + right.cost + added, sample, max(left.density, right.density)
         )
     if isinstance(query, Union):
-        left = estimate(query.left, statistics)
-        right = estimate(query.right, statistics)
+        left = _estimate(query.left, statistics, model)
+        right = _estimate(query.right, statistics, model)
         out = left.rows + right.rows
-        return CostEstimate(rows=out, cost=left.cost + right.cost + out)
+        sample = None
+        if (
+            left.sample is not None
+            and right.sample is not None
+            and left.sample.attributes == right.sample.attributes
+        ):
+            sample = RelationSample(
+                "",
+                left.sample.attributes,
+                left.sample.rows + right.sample.rows,
+                max(1, left.sample.population + right.sample.population),
+            )
+        return NodeEstimate(
+            out,
+            left.cost + right.cost + out * model.union_tuple,
+            sample,
+            max(left.density, right.density),
+        )
     if isinstance(query, Difference):
-        left = estimate(query.left, statistics)
-        right = estimate(query.right, statistics)
+        left = _estimate(query.left, statistics, model)
+        right = _estimate(query.right, statistics, model)
         # On WSDs/UWSDTs difference composes components pairwise — by far the
         # paper's most expensive operator — so it is costed quadratically.
-        return CostEstimate(
-            rows=left.rows, cost=left.cost + right.cost + left.rows * max(1.0, right.rows)
+        return NodeEstimate(
+            left.rows,
+            left.cost + right.cost + left.rows * max(1.0, right.rows) * model.difference_pair,
+            left.sample,
+            max(left.density, right.density),
         )
     raise TypeError(f"cannot estimate cost of {query!r}")
+
+
+def estimate_node(query: Query, statistics: Statistics, model: Optional[CostModel] = None) -> NodeEstimate:
+    """Full per-node estimate (rows, cost, derived sample, density).
+
+    Used by the join-order enumerator to seed leaf states that cost exactly
+    what :func:`estimate` would report for the same subtree.
+    """
+    if model is None:
+        model = statistics.cost_model()
+    return _estimate(query, statistics, model)

@@ -5,13 +5,13 @@
 rewritten tree with the model of :mod:`~repro.core.planner.cost`, and keeps
 whichever is estimated cheaper.  The returned :class:`Plan` records every
 rule application so ``plan.explain()`` can show *why* the chosen tree looks
-the way it does — the inspectability seam later sharding/multi-backend work
-builds on.
+the way it does — including the join order picked by the enumerator and how
+the sampled-selectivity estimates compare with the fixed-constant ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..algebra.query import (
@@ -43,13 +43,53 @@ class RuleApplication:
     after: str
 
 
+def describe_join_order(query: Query) -> Optional[str]:
+    """The join/product skeleton of a tree, e.g. ``((R ⋈ S) ⋈ T)``.
+
+    Unary operators are skipped (a filtered, renamed copy of ``R`` still
+    reads ``R``); returns None when the tree contains no join or product.
+    """
+    has_binary = [False]
+
+    def label(node: Query) -> str:
+        if isinstance(node, BaseRelation):
+            return node.name
+        if isinstance(node, (Select, Project)):
+            return label(node.child)
+        if isinstance(node, Rename):
+            inner = label(node.child)
+            if "(" in inner:
+                # Renaming above a composite subtree does not change its
+                # join skeleton; appending here would mangle the rendering.
+                return inner
+            # Distinguish renamed copies of the same base: ``R→C1``.
+            return f"{inner.split('→')[0]}→{node.new}"
+        if isinstance(node, Join):
+            has_binary[0] = True
+            return f"({label(node.left)} ⋈ {label(node.right)})"
+        if isinstance(node, Product):
+            has_binary[0] = True
+            return f"({label(node.left)} × {label(node.right)})"
+        if isinstance(node, Union):
+            return f"({label(node.left)} ∪ {label(node.right)})"
+        if isinstance(node, Difference):
+            return f"({label(node.left)} − {label(node.right)})"
+        raise TypeError(f"cannot describe {node!r}")
+
+    rendered = label(query)
+    return rendered if has_binary[0] else None
+
+
 @dataclass
 class Plan:
     """An optimized (or deliberately untouched) query plan.
 
     ``chosen`` is the tree :meth:`~repro.core.algebra.query.Query.run`
     evaluates: the rewritten tree when the cost model judges it cheaper,
-    otherwise the original.
+    otherwise the original.  ``cost_before``/``cost_after`` use sampled
+    selectivities when the statistics carry samples;
+    ``cost_fixed_before``/``cost_fixed_after`` re-estimate both trees with
+    the fixed constants for comparison in ``explain()``.
     """
 
     original: Query
@@ -58,6 +98,8 @@ class Plan:
     statistics: Statistics
     cost_before: CostEstimate
     cost_after: CostEstimate
+    cost_fixed_before: Optional[CostEstimate] = None
+    cost_fixed_after: Optional[CostEstimate] = None
 
     @property
     def chosen(self) -> Query:
@@ -66,6 +108,11 @@ class Plan:
     @property
     def improved(self) -> bool:
         return bool(self.applications) and self.cost_after.cost <= self.cost_before.cost
+
+    @property
+    def join_order(self) -> Optional[str]:
+        """The join/product skeleton of the chosen tree (None if join-free)."""
+        return describe_join_order(self.chosen)
 
     def explain(self) -> str:
         """Human-readable account of the planning decision."""
@@ -76,8 +123,16 @@ class Plan:
             f"rewritten: {self.optimized!r}",
             f"cost     : {self.cost_before.cost:,.0f} -> {self.cost_after.cost:,.0f}"
             f" (estimated rows {self.cost_before.rows:,.0f} -> {self.cost_after.rows:,.0f})",
-            f"chosen   : {'rewritten' if self.improved else 'original'}",
         ]
+        if self.cost_fixed_before is not None and self.cost_fixed_after is not None:
+            lines.append(
+                f"           fixed-constant estimate "
+                f"{self.cost_fixed_before.cost:,.0f} -> {self.cost_fixed_after.cost:,.0f}"
+            )
+        order = self.join_order
+        if order is not None:
+            lines.append(f"join order: {order}")
+        lines.append(f"chosen   : {'rewritten' if self.improved else 'original'}")
         if self.applications:
             lines.append("rewrites :")
             for application in self.applications:
@@ -103,23 +158,7 @@ class Plan:
 
 def _rebuild(query: Query, children: Tuple[Query, ...]) -> Query:
     """Clone ``query`` with new children (Query nodes are plain objects)."""
-    if isinstance(query, BaseRelation):
-        return query
-    if isinstance(query, Select):
-        return Select(children[0], query.predicate)
-    if isinstance(query, Project):
-        return Project(children[0], query.attributes)
-    if isinstance(query, Rename):
-        return Rename(children[0], query.old, query.new)
-    if isinstance(query, Product):
-        return Product(children[0], children[1])
-    if isinstance(query, Union):
-        return Union(children[0], children[1])
-    if isinstance(query, Difference):
-        return Difference(children[0], children[1])
-    if isinstance(query, Join):
-        return Join(children[0], children[1], query.left_attr, query.right_attr)
-    raise TypeError(f"cannot rebuild {query!r}")
+    return query.with_children(children)
 
 
 def _apply_once(
@@ -154,12 +193,29 @@ def rewrite(
     phases: Sequence[Tuple[str, Sequence[RewriteRule]]] = DEFAULT_PHASES,
     trace: Optional[List[RuleApplication]] = None,
 ) -> Query:
-    """Run the phased rule pipeline to a fixpoint; return the rewritten tree."""
+    """Run the phased rule pipeline to a fixpoint; return the rewritten tree.
+
+    Node-level rules run bottom-up to a fixpoint per phase; whole-tree rules
+    (``rule.whole_tree``) are applied once per phase to the entire tree —
+    join-order search must see a maximal cluster at once and picks its
+    result deterministically, so a fixpoint would be wasted work.
+    """
     recorded: List[RuleApplication] = trace if trace is not None else []
     current = query
     for phase_name, rules in phases:
+        tree_rules = [rule for rule in rules if rule.whole_tree]
+        node_rules = [rule for rule in rules if not rule.whole_tree]
+        for rule in tree_rules:
+            rewritten = rule.apply(current, context)
+            if rewritten is not None:
+                recorded.append(
+                    RuleApplication(phase_name, rule.name, repr(current), repr(rewritten))
+                )
+                current = rewritten
+        if not node_rules:
+            continue
         for _ in range(MAX_PASSES_PER_PHASE):
-            current, changed = _apply_once(current, rules, context, phase_name, recorded)
+            current, changed = _apply_once(current, node_rules, context, phase_name, recorded)
             if not changed:
                 break
     return current
@@ -175,6 +231,7 @@ def plan(
     context = RewriteContext(statistics)
     trace: List[RuleApplication] = []
     optimized = rewrite(query, context, phases, trace)
+    fixed = statistics.without_samples() if statistics.samples else None
     return Plan(
         original=query,
         optimized=optimized,
@@ -182,9 +239,18 @@ def plan(
         statistics=statistics,
         cost_before=estimate(query, statistics),
         cost_after=estimate(optimized, statistics),
+        cost_fixed_before=estimate(query, fixed) if fixed is not None else None,
+        cost_fixed_after=estimate(optimized, fixed) if fixed is not None else None,
     )
 
 
 def plan_for_engine(query: Query, engine, **kwargs) -> Plan:
-    """Plan ``query`` with statistics gathered from a live engine."""
-    return plan(query, Statistics.from_engine(engine), **kwargs)
+    """Plan ``query`` with statistics gathered from a live engine.
+
+    Row sampling is restricted to the query's base relations — relations the
+    query never touches are not scanned.
+    """
+    statistics = Statistics.from_engine(
+        engine, sample_relations=tuple(query.base_relations())
+    )
+    return plan(query, statistics, **kwargs)

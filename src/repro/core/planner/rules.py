@@ -112,9 +112,15 @@ def _references_only(predicate: Predicate, attributes: Sequence[str]) -> bool:
 
 
 class RewriteRule:
-    """Base class: a named, single-node rewrite."""
+    """Base class: a named, single-node rewrite.
+
+    Rules with ``whole_tree = True`` are applied once to the entire query
+    tree by the planner (not driven bottom-up to a fixpoint) — used for
+    global transformations such as join-order search.
+    """
 
     name = "rewrite"
+    whole_tree = False
 
     def apply(self, query: Query, context: RewriteContext) -> Optional[Query]:
         raise NotImplementedError
@@ -316,11 +322,32 @@ class PushProjectDown(RewriteRule):
         return None
 
 
-#: The default rule pipeline: each phase is run to a fixpoint in order.
+class ReorderJoins(RewriteRule):
+    """Join-order search over σ/×/⋈ clusters (a whole-tree rule).
+
+    Flattens every maximal cluster of selections, products and joins with at
+    least three leaf relations into a join graph and re-assembles it in the
+    cheapest order found by dynamic programming over leaf subsets (greedy
+    above ~8 leaves), using sampled selectivities — see
+    :mod:`~repro.core.planner.joins`.
+    """
+
+    name = "reorder-joins"
+    whole_tree = True
+
+    def apply(self, query: Query, context: RewriteContext) -> Optional[Query]:
+        from .joins import reorder_tree
+
+        return reorder_tree(query, context)
+
+
+#: The default rule pipeline: each phase is run to a fixpoint in order
+#: (whole-tree rules such as join reordering are applied once per phase).
 DEFAULT_PHASES: Tuple[Tuple[str, Tuple[RewriteRule, ...]], ...] = (
     ("normalize", (EliminateTrueSelect(), MergeSelects(), EliminateRename())),
     ("fuse-joins", (FuseSelectIntoJoin(),)),
     ("push-selections", (MergeSelects(), PushSelectDown(), FuseSelectIntoJoin(), EliminateTrueSelect())),
+    ("reorder-joins", (ReorderJoins(),)),
     ("push-projections", (PushProjectDown(),)),
     ("cleanup", (EliminateRename(), EliminateTrueSelect())),
 )

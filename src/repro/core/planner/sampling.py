@@ -1,0 +1,355 @@
+"""Sampled statistics for the planner: reservoir samples of template rows.
+
+The cost model of PR 1 priced every equality atom at a fixed 10 % and every
+range atom at 1/3 — good enough to prefer a join over a product, but blind
+to the difference between joining census copies on ``POWSTATE`` (60 states,
+selectivity ≈ 1/60) and on ``CITIZEN`` (85 % of the population shares one
+value, selectivity ≈ 0.73).  Join-order search lives or dies on exactly
+that distinction, so this module estimates selectivities and distinct
+counts from a *bounded reservoir sample* of template rows instead.
+
+Design:
+
+* :func:`reservoir` draws a fixed-size uniform sample from a row iterator
+  of unknown length in one pass (Vitter's algorithm R) with a fixed seed,
+  so plans are deterministic for a given engine state.
+* :class:`RelationSample` holds the sampled rows plus the estimated
+  population size and supports the operations the cost model needs:
+  predicate selectivity (a row whose referenced field is a ``?``
+  placeholder counts as satisfied — on the representation such tuples
+  survive every selection, lines 2–6 of Figure 16), per-attribute value
+  histograms, distinct counts, and *derived* samples: ``filter`` /
+  ``project`` / ``restrict`` / ``rename`` / ``cross`` / ``equijoin``
+  propagate a sample through the operators of a candidate plan, so the
+  selectivity of a predicate *above* a join is estimated against a sample
+  that already reflects the join.
+* :func:`join_selectivity` estimates the selectivity of ``A = B`` across
+  two samples from the value histograms, ``Σ_v f_L(v) · f_R(v)`` — the
+  frequency-weighted generalization of Selinger's ``1/max(d_A, d_B)`` that
+  stays accurate under the census generator's skew.
+
+Estimated selectivities are floored (:func:`floor_selectivity`) so an
+empty sample intersection never makes a plan look free.
+
+``sample_database`` / ``sample_wsd`` / ``sample_uwsdt`` build the samples
+:class:`~repro.core.planner.cost.Statistics` carries; for WSDs the sampled
+tuples resolve each field through its component (certain fields to their
+value, genuinely uncertain fields to the placeholder sentinel).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...relational.predicates import Predicate
+from ...relational.schema import RelationSchema
+from ...relational.values import BOTTOM, PLACEHOLDER, is_placeholder
+
+#: Default bound on sampled rows per relation.
+DEFAULT_SAMPLE_SIZE = 256
+
+#: Fixed seed: sampling must be deterministic for reproducible plans.
+SAMPLE_SEED = 0x5EED
+
+#: Cap on rows of derived (joined / crossed) samples.
+DERIVED_SAMPLE_CAP = DEFAULT_SAMPLE_SIZE
+
+
+def reservoir(
+    rows: Iterable[Tuple[Any, ...]], capacity: int, seed: int = SAMPLE_SEED
+) -> Tuple[List[Tuple[Any, ...]], int]:
+    """One-pass fixed-size uniform sample; returns ``(sample, population)``."""
+    rng = random.Random(seed)
+    sample: List[Tuple[Any, ...]] = []
+    population = 0
+    for row in rows:
+        population += 1
+        if len(sample) < capacity:
+            sample.append(tuple(row))
+            continue
+        slot = rng.randrange(population)
+        if slot < capacity:
+            sample[slot] = tuple(row)
+    return sample, population
+
+
+def floor_selectivity(selectivity: float, sample_size: int) -> float:
+    """Clamp into ``(0, 1]``: a zero-match sample must not make a plan free."""
+    floor = 0.5 / max(1, sample_size)
+    return max(min(selectivity, 1.0), floor)
+
+
+class RelationSample:
+    """A bounded row sample of one relation (or of a derived subplan)."""
+
+    __slots__ = ("relation", "attributes", "rows", "population", "_histograms")
+
+    def __init__(
+        self,
+        relation: str,
+        attributes: Sequence[str],
+        rows: Sequence[Tuple[Any, ...]],
+        population: int,
+    ) -> None:
+        self.relation = relation
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.rows: List[Tuple[Any, ...]] = [tuple(row) for row in rows]
+        self.population = population
+        self._histograms: Dict[str, Dict[Any, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def position(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(attribute) from None
+
+    def has_attributes(self, attributes: Iterable[str]) -> bool:
+        known = set(self.attributes)
+        return all(a in known for a in attributes)
+
+    # -- selectivity ------------------------------------------------------- #
+
+    def selectivity(self, predicate: Predicate) -> Optional[float]:
+        """Fraction of sampled rows satisfying ``predicate``.
+
+        Rows with a placeholder in a referenced attribute count as
+        satisfied (they survive the selection on the representation).
+        Returns None when the sample is empty or references unknown
+        attributes — callers fall back to the fixed constants.
+        """
+        if not self.rows:
+            return None
+        referenced = predicate.attributes()
+        if not self.has_attributes(referenced):
+            return None
+        positions = [self.position(a) for a in referenced]
+        schema = RelationSchema(self.relation or "__sample__", self.attributes)
+        compiled = predicate.compile(schema)
+        matched = 0
+        for row in self.rows:
+            if any(is_placeholder(row[p]) for p in positions):
+                matched += 1
+            elif compiled(row):
+                matched += 1
+        return floor_selectivity(matched / len(self.rows), len(self.rows))
+
+    # -- histograms -------------------------------------------------------- #
+
+    def histogram(self, attribute: str) -> Dict[Any, int]:
+        """Value counts of ``attribute`` over the sample (placeholders excluded)."""
+        if attribute not in self._histograms:
+            position = self.position(attribute)
+            counts: Dict[Any, int] = {}
+            for row in self.rows:
+                value = row[position]
+                if is_placeholder(value) or value is BOTTOM:
+                    continue
+                counts[value] = counts.get(value, 0) + 1
+            self._histograms[attribute] = counts
+        return self._histograms[attribute]
+
+    def distinct_count(self, attribute: str) -> int:
+        """Estimated number of distinct values of ``attribute`` (at least 1)."""
+        return max(1, len(self.histogram(attribute)))
+
+    # -- derived samples --------------------------------------------------- #
+
+    def filter(self, predicate: Predicate) -> "RelationSample":
+        """The sample restricted to rows satisfying ``predicate``.
+
+        Placeholder rows are kept, mirroring :meth:`selectivity`.  The
+        derived population scales with the observed match fraction.
+        """
+        referenced = predicate.attributes()
+        if not self.rows or not self.has_attributes(referenced):
+            return self
+        positions = [self.position(a) for a in referenced]
+        schema = RelationSchema(self.relation or "__sample__", self.attributes)
+        compiled = predicate.compile(schema)
+        kept = [
+            row
+            for row in self.rows
+            if any(is_placeholder(row[p]) for p in positions) or compiled(row)
+        ]
+        fraction = floor_selectivity(len(kept) / len(self.rows), len(self.rows))
+        return RelationSample(
+            self.relation, self.attributes, kept, max(1, round(self.population * fraction))
+        )
+
+    def project(self, attributes: Sequence[str]) -> Optional["RelationSample"]:
+        if not self.has_attributes(attributes):
+            return None
+        positions = [self.position(a) for a in attributes]
+        rows = [tuple(row[p] for p in positions) for row in self.rows]
+        return RelationSample(self.relation, attributes, rows, self.population)
+
+    def rename(self, old: str, new: str) -> "RelationSample":
+        attributes = tuple(new if a == old else a for a in self.attributes)
+        return RelationSample(self.relation, attributes, self.rows, self.population)
+
+    def cross(self, other: "RelationSample", capacity: int = DERIVED_SAMPLE_CAP) -> "RelationSample":
+        """A capped sample of the cartesian product (deterministic pairing)."""
+        rows: List[Tuple[Any, ...]] = []
+        for left in self.rows:
+            for right in other.rows:
+                rows.append(left + right)
+                if len(rows) >= capacity:
+                    break
+            if len(rows) >= capacity:
+                break
+        return RelationSample(
+            "", self.attributes + other.attributes, rows, max(1, self.population * other.population)
+        )
+
+    def equijoin(
+        self,
+        other: "RelationSample",
+        left_attr: str,
+        right_attr: str,
+        capacity: int = DERIVED_SAMPLE_CAP,
+    ) -> Optional["RelationSample"]:
+        """A capped hash-join of the two samples (placeholder rows dropped)."""
+        selectivity = join_selectivity(self, left_attr, other, right_attr)
+        if selectivity is None:
+            return None
+        left_position = self.position(left_attr)
+        index: Dict[Any, List[Tuple[Any, ...]]] = {}
+        for row in self.rows:
+            value = row[left_position]
+            if is_placeholder(value):
+                continue
+            index.setdefault(value, []).append(row)
+        right_position = other.position(right_attr)
+        rows: List[Tuple[Any, ...]] = []
+        for right_row in other.rows:
+            value = right_row[right_position]
+            if is_placeholder(value):
+                continue
+            for left_row in index.get(value, ()):
+                rows.append(left_row + right_row)
+                if len(rows) >= capacity:
+                    break
+            if len(rows) >= capacity:
+                break
+        population = max(1, round(self.population * other.population * selectivity))
+        return RelationSample("", self.attributes + other.attributes, rows, population)
+
+
+def join_selectivity(
+    left: RelationSample, left_attr: str, right: RelationSample, right_attr: str
+) -> Optional[float]:
+    """Selectivity of ``left_attr = right_attr``: ``Σ_v f_L(v) · f_R(v)``.
+
+    Returns None when either sample is empty or misses the attribute, so
+    callers fall back to the fixed equality constant.
+    """
+    if not left.rows or not right.rows:
+        return None
+    if not left.has_attributes((left_attr,)) or not right.has_attributes((right_attr,)):
+        return None
+    left_histogram = left.histogram(left_attr)
+    right_histogram = right.histogram(right_attr)
+    if not left_histogram or not right_histogram:
+        return None
+    smaller, larger = (
+        (left_histogram, right_histogram)
+        if len(left_histogram) <= len(right_histogram)
+        else (right_histogram, left_histogram)
+    )
+    overlap = sum(count * larger.get(value, 0) for value, count in smaller.items())
+    selectivity = overlap / (len(left.rows) * len(right.rows))
+    return floor_selectivity(selectivity, len(left.rows) * len(right.rows))
+
+
+# --------------------------------------------------------------------------- #
+# Engine samplers (used by Statistics.from_database / from_wsd / from_uwsdt)
+# --------------------------------------------------------------------------- #
+
+
+def sample_database(
+    database: Any,
+    capacity: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = SAMPLE_SEED,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, RelationSample]:
+    """Sample the database's relations (restricted to ``only`` when given —
+    planning passes the query's base relations so unrelated, possibly huge
+    relations are never scanned)."""
+    samples: Dict[str, RelationSample] = {}
+    wanted = set(only) if only is not None else None
+    for relation in database:
+        if wanted is not None and relation.schema.name not in wanted:
+            continue
+        rows, population = reservoir(iter(relation), capacity, seed)
+        samples[relation.schema.name] = RelationSample(
+            relation.schema.name, relation.schema.attributes, rows, population
+        )
+    return samples
+
+
+def sample_uwsdt(
+    uwsdt: Any,
+    capacity: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = SAMPLE_SEED,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, RelationSample]:
+    """Sample template rows; placeholder fields stay the ``?`` sentinel."""
+    samples: Dict[str, RelationSample] = {}
+    wanted = set(only) if only is not None else None
+    for relation_schema in uwsdt.schema:
+        if wanted is not None and relation_schema.name not in wanted:
+            continue
+        rows, population = reservoir(
+            (values for _, values in uwsdt.template_rows(relation_schema.name)),
+            capacity,
+            seed,
+        )
+        samples[relation_schema.name] = RelationSample(
+            relation_schema.name, relation_schema.attributes, rows, population
+        )
+    return samples
+
+
+def sample_wsd(
+    wsd: Any,
+    capacity: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = SAMPLE_SEED,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, RelationSample]:
+    """Sample WSD tuples, resolving each field through its component.
+
+    Tuple ids are reservoir-sampled first so only the sampled tuples pay
+    the per-field component lookups.  A field whose component gives it a
+    single domain value in every local world is certain; anything else
+    (several candidate values, or possibly ``⊥``) becomes the placeholder
+    sentinel, exactly as a UWSDT template would store it.
+    """
+    from ...core.fields import FieldRef
+
+    samples: Dict[str, RelationSample] = {}
+    wanted = set(only) if only is not None else None
+    for relation_schema in wsd.schema:
+        if wanted is not None and relation_schema.name not in wanted:
+            continue
+        tuple_ids = wsd.tuple_ids.get(relation_schema.name, [])
+        sampled_ids, population = reservoir(((tid,) for tid in tuple_ids), capacity, seed)
+        rows: List[Tuple[Any, ...]] = []
+        for (tuple_id,) in sampled_ids:
+            values: List[Any] = []
+            for attribute in relation_schema.attributes:
+                field = FieldRef(relation_schema.name, tuple_id, attribute)
+                column = wsd.component_for(field).column(field)
+                first = column[0]
+                if first is not BOTTOM and all(value == first for value in column[1:]):
+                    values.append(first)
+                else:
+                    values.append(PLACEHOLDER)
+            rows.append(tuple(values))
+        samples[relation_schema.name] = RelationSample(
+            relation_schema.name, relation_schema.attributes, rows, population
+        )
+    return samples

@@ -287,27 +287,40 @@ class UWSDT:
         a one-placeholder component.  This avoids materializing the
         field-per-component WSD for large relations.
         """
-        result = cls(DatabaseSchema([orset.schema]))
-        for index, row in enumerate(orset.rows, start=1):
-            template_values: List[Any] = []
-            for attribute, value in zip(orset.schema.attributes, row):
-                if is_or_set(value):
-                    template_values.append(PLACEHOLDER)
-                else:
-                    template_values.append(value)
-            result.add_template_tuple(orset.schema.name, index, template_values)
-            for attribute, value in zip(orset.schema.attributes, row):
-                if is_or_set(value):
-                    field = FieldRef(orset.schema.name, index, attribute)
-                    if value.probabilities is not None:
-                        component = Component(
-                            (field,), [(v,) for v in value.values], list(value.probabilities)
-                        )
-                    elif probabilistic:
-                        component = Component.uniform(field, value.values)
+        return cls.from_orset_relations([orset], probabilistic)
+
+    @classmethod
+    def from_orset_relations(
+        cls, orsets: Sequence[OrSetRelation], probabilistic: bool = True
+    ) -> "UWSDT":
+        """Linear encoding of several or-set relations into one UWSDT.
+
+        The relations' or-sets are independent of each other, exactly as if
+        each had been encoded separately — the multi-relation input the join
+        queries (and the possible-worlds oracle) work on.
+        """
+        result = cls(DatabaseSchema([orset.schema for orset in orsets]))
+        for orset in orsets:
+            for index, row in enumerate(orset.rows, start=1):
+                template_values: List[Any] = []
+                for attribute, value in zip(orset.schema.attributes, row):
+                    if is_or_set(value):
+                        template_values.append(PLACEHOLDER)
                     else:
-                        component = Component((field,), [(v,) for v in value.values], None)
-                    result.new_component(component)
+                        template_values.append(value)
+                result.add_template_tuple(orset.schema.name, index, template_values)
+                for attribute, value in zip(orset.schema.attributes, row):
+                    if is_or_set(value):
+                        field = FieldRef(orset.schema.name, index, attribute)
+                        if value.probabilities is not None:
+                            component = Component(
+                                (field,), [(v,) for v in value.values], list(value.probabilities)
+                            )
+                        elif probabilistic:
+                            component = Component.uniform(field, value.values)
+                        else:
+                            component = Component((field,), [(v,) for v in value.values], None)
+                        result.new_component(component)
         return result
 
     def to_wsdt(self) -> WSDT:

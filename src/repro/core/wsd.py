@@ -293,35 +293,48 @@ class WSD:
     @classmethod
     def from_orset_relation(cls, orset: OrSetRelation, probabilistic: bool = True) -> "WSD":
         """Linear encoding of an or-set relation (Example 1): one component per field."""
-        tuple_ids = list(range(1, len(orset.rows) + 1))
+        return cls.from_orset_relations([orset], probabilistic)
+
+    @classmethod
+    def from_orset_relations(
+        cls, orsets: Sequence[OrSetRelation], probabilistic: bool = True
+    ) -> "WSD":
+        """Linear encoding of several or-set relations into one WSD.
+
+        The relations' or-sets are independent of each other, exactly as if
+        each had been encoded separately — this is the multi-relation input
+        the join queries (and the possible-worlds oracle) work on.
+        """
+        schema = DatabaseSchema()
+        tuple_ids: Dict[str, List[Any]] = {}
         components: List[Component] = []
-        for tuple_id, row in zip(tuple_ids, orset.rows):
-            for attribute, value in zip(orset.schema.attributes, row):
-                field = FieldRef(orset.schema.name, tuple_id, attribute)
-                if is_or_set(value):
-                    if value.probabilities is not None:
-                        components.append(
-                            Component(
-                                (field,),
-                                [(v,) for v in value.values],
-                                list(value.probabilities),
+        for orset in orsets:
+            schema.add(orset.schema)
+            ids = list(range(1, len(orset.rows) + 1))
+            tuple_ids[orset.schema.name] = ids
+            for tuple_id, row in zip(ids, orset.rows):
+                for attribute, value in zip(orset.schema.attributes, row):
+                    field = FieldRef(orset.schema.name, tuple_id, attribute)
+                    if is_or_set(value):
+                        if value.probabilities is not None:
+                            components.append(
+                                Component(
+                                    (field,),
+                                    [(v,) for v in value.values],
+                                    list(value.probabilities),
+                                )
                             )
-                        )
-                    elif probabilistic:
-                        components.append(Component.uniform(field, value.values))
+                        elif probabilistic:
+                            components.append(Component.uniform(field, value.values))
+                        else:
+                            components.append(
+                                Component((field,), [(v,) for v in value.values], None)
+                            )
                     else:
                         components.append(
-                            Component((field,), [(v,) for v in value.values], None)
+                            Component((field,), [(value,)], [1.0] if probabilistic else None)
                         )
-                else:
-                    components.append(
-                        Component((field,), [(value,)], [1.0] if probabilistic else None)
-                    )
-        return cls(
-            DatabaseSchema([orset.schema]),
-            {orset.schema.name: tuple_ids},
-            components,
-        )
+        return cls(schema, tuple_ids, components)
 
     @classmethod
     def from_tuple_independent(cls, database: TupleIndependentDatabase) -> "WSD":

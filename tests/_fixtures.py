@@ -44,6 +44,45 @@ def orset_relations(draw, max_rows: int = 3, max_attrs: int = 3, max_alternative
 
 
 @st.composite
+def budgeted_orset_relations(
+    draw,
+    schemas,
+    max_rows: int = 2,
+    max_alternatives: int = 2,
+    uncertain_budget: int = 4,
+):
+    """One or-set relation per ``(name, attributes)`` schema, sharing a bound
+    on the *total* number of uncertain fields.
+
+    The budget caps the represented world count at
+    ``max_alternatives ** uncertain_budget`` regardless of how many
+    relations or attributes the oracle query ranges over — that is what
+    keeps deep multi-relation oracle runs enumerable.
+    """
+    budget = uncertain_budget
+    relations = []
+    for name, attributes in schemas:
+        schema = RelationSchema(name, tuple(attributes))
+        relation = OrSetRelation(schema)
+        rows = draw(st.integers(min_value=1, max_value=max_rows))
+        for _ in range(rows):
+            row = []
+            for _ in attributes:
+                if budget > 0 and draw(st.booleans()):
+                    budget -= 1
+                    size = draw(st.integers(min_value=2, max_value=max_alternatives))
+                    candidates = draw(
+                        st.lists(values_strategy, min_size=size, max_size=size, unique=True)
+                    )
+                    row.append(OrSet(candidates))
+                else:
+                    row.append(draw(values_strategy))
+            relation.insert(tuple(row))
+        relations.append(relation)
+    return relations
+
+
+@st.composite
 def plain_relations(draw, name: str = "R", max_rows: int = 5, max_attrs: int = 3):
     """Random small plain relations."""
     attrs = draw(st.integers(min_value=1, max_value=max_attrs))

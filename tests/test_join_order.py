@@ -1,0 +1,225 @@
+"""Property tests for the join-order enumerator itself.
+
+Two families:
+
+* **optimality** — on random join graphs the DP winner's cost (under the
+  enumerator's own order-independent cost metric) is never beaten by any
+  left-deep join order.  This is a theorem of the subset DP as long as a
+  subset's cardinality estimate does not depend on the order that built it
+  — which is exactly why ``joins._Costing`` fixes every predicate's
+  selectivity from the leaf samples up front.
+* **semantics** — planned evaluation of 3/4/5-way census joins produces
+  exactly the written-order result, on the classical engine (row sets) and
+  on the UWSDT (possible tuples with confidences).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import census_instance
+from repro.census.queries import q3, q4_citizen, q6, q_four_way_join
+from repro.core.algebra import BaseRelation, Join
+from repro.core.confidence import uwsdt_possible_with_confidence
+from repro.core.planner import (
+    GREEDY_THRESHOLD,
+    MIN_REORDER_RELATIONS,
+    RewriteContext,
+    Statistics,
+    extract_join_graph,
+    plan,
+)
+from repro.core.planner.joins import enumerate_plan_state, forced_order_state
+from repro.relational import AttrAttr, Database, Relation, RelationSchema
+from repro.relational.predicates import And
+
+#: Number of leaf relations in generated join graphs (kept within the DP
+#: regime; the greedy fallback is exercised separately).
+MIN_LEAVES, MAX_LEAVES = 3, 5
+
+
+@st.composite
+def join_graph_cases(draw, min_leaves=MIN_LEAVES, max_leaves=MAX_LEAVES):
+    """A random database + a ×-chain query with random equality predicates."""
+    leaf_count = draw(st.integers(min_value=min_leaves, max_value=max_leaves))
+    relations = []
+    for index in range(leaf_count):
+        schema = RelationSchema(f"L{index}", (f"X{index}a", f"X{index}b"))
+        relation = Relation(schema)
+        rows = draw(st.integers(min_value=0, max_value=10))
+        for _ in range(rows):
+            relation.insert(
+                (
+                    draw(st.integers(min_value=0, max_value=3)),
+                    draw(st.integers(min_value=0, max_value=3)),
+                )
+            )
+        relations.append(relation)
+    database = Database(relations)
+
+    predicate_count = draw(st.integers(min_value=1, max_value=leaf_count))
+    predicates = []
+    for _ in range(predicate_count):
+        left, right = draw(
+            st.tuples(
+                st.integers(min_value=0, max_value=leaf_count - 1),
+                st.integers(min_value=0, max_value=leaf_count - 1),
+            ).filter(lambda pair: pair[0] != pair[1])
+        )
+        predicates.append(
+            AttrAttr(
+                f"X{left}{draw(st.sampled_from('ab'))}",
+                "=",
+                f"X{right}{draw(st.sampled_from('ab'))}",
+            )
+        )
+
+    query = BaseRelation("L0")
+    for index in range(1, leaf_count):
+        query = query.product(BaseRelation(f"L{index}"))
+    query = query.select(And(*predicates) if len(predicates) > 1 else predicates[0])
+    return database, query, leaf_count
+
+
+class TestEnumeratorOptimality:
+    @given(join_graph_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_dp_cost_never_beaten_by_left_deep_orders(self, case):
+        database, query, leaf_count = case
+        statistics = Statistics.from_database(database)
+        graph = extract_join_graph(query, RewriteContext(statistics))
+        assert graph is not None and len(graph.leaves) == leaf_count
+        best = enumerate_plan_state(graph, statistics)
+        for order in itertools.permutations(range(leaf_count)):
+            forced = forced_order_state(graph, statistics, order)
+            assert best.cost <= forced.cost * (1 + 1e-9) + 1e-9, (
+                f"DP cost {best.cost} beaten by left-deep order {order} "
+                f"({forced.cost})"
+            )
+
+    @given(
+        join_graph_cases(),
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+            min_size=MAX_LEAVES,
+            max_size=MAX_LEAVES,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_optimality_holds_at_nonzero_density(self, case, densities):
+        """The enumerator's metric must stay order-independent under
+        placeholder densities too (it deliberately omits the density bump)."""
+        database, query, leaf_count = case
+        statistics = Statistics.from_database(database)
+        for index in range(leaf_count):
+            statistics.placeholder_densities[f"L{index}"] = densities[index]
+        graph = extract_join_graph(query, RewriteContext(statistics))
+        best = enumerate_plan_state(graph, statistics)
+        for order in itertools.permutations(range(leaf_count)):
+            forced = forced_order_state(graph, statistics, order)
+            assert best.cost <= forced.cost * (1 + 1e-9) + 1e-9
+
+    @given(join_graph_cases(min_leaves=GREEDY_THRESHOLD + 1, max_leaves=GREEDY_THRESHOLD + 2))
+    @settings(max_examples=10, deadline=None)
+    def test_greedy_fallback_produces_a_complete_plan(self, case):
+        """Above the DP cutover the greedy heuristic must still cover every
+        leaf and apply every predicate (semantics checked via the oracle and
+        the census equality tests; here we check structure)."""
+        database, query, leaf_count = case
+        statistics = Statistics.from_database(database)
+        graph = extract_join_graph(query, RewriteContext(statistics))
+        best = enumerate_plan_state(graph, statistics)
+        assert best.mask == (1 << leaf_count) - 1
+        assert tuple(sorted(best.attributes)) == tuple(sorted(graph.output_attributes))
+
+    def test_reorder_only_fires_at_min_relations(self):
+        """A 2-way cluster is left to join fusion, not reordered."""
+        statistics = Statistics(
+            row_counts={"L0": 10, "L1": 10},
+            attributes={"L0": ("X0a", "X0b"), "L1": ("X1a", "X1b")},
+        )
+        query = BaseRelation("L0").product(BaseRelation("L1")).select(
+            AttrAttr("X0a", "=", "X1a")
+        )
+        built = plan(query, statistics)
+        assert MIN_REORDER_RELATIONS == 3
+        assert not any(a.rule == "reorder-joins" for a in built.applications)
+        assert isinstance(built.optimized, Join)
+
+
+# --------------------------------------------------------------------------- #
+# Planned ≡ written order on census joins (3-, 4- and 5-way)
+# --------------------------------------------------------------------------- #
+
+
+def _three_way_join():
+    a = q6().rename("POWSTATE", "W1").rename("POB", "B1")
+    b = q4_citizen().rename("POWSTATE", "W2").rename("CITIZEN", "C2")
+    c = q3().rename("POWSTATE", "P3").rename("MARITAL", "M3").rename("FERTIL", "F3")
+    return a.join(b, "W1", "W2").join(c, "B1", "P3")
+
+
+def _five_way_join():
+    base = q_four_way_join()
+    e = q6().rename("POWSTATE", "W5").rename("POB", "B5")
+    return base.join(e, "W1", "W5")
+
+
+CENSUS_JOINS = {
+    "3-way": _three_way_join,
+    "4-way": q_four_way_join,
+    "5-way": _five_way_join,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CENSUS_JOINS))
+class TestPlannedMatchesWrittenOrder:
+    def test_database_row_sets_equal(self, name):
+        database = census_instance(120, 0.0).one_world_database()
+        query = CENSUS_JOINS[name]()
+        planned = query.run(database, "planned", optimize=True)
+        written = query.run(database, "written", optimize=False)
+        assert planned.schema.attributes == written.schema.attributes
+        assert planned.row_set() == written.row_set()
+
+    def test_uwsdt_possible_tuples_and_confidences_equal(self, name):
+        chased = census_instance(120, 0.005).chased()
+        query = CENSUS_JOINS[name]()
+
+        planned = chased.copy()
+        query.run(planned, "P", optimize=True)
+        planned.validate()
+        planned_ranked = dict(uwsdt_possible_with_confidence(planned, "P"))
+
+        written = chased.copy()
+        query.run(written, "P", optimize=False)
+        written.validate()
+        written_ranked = dict(uwsdt_possible_with_confidence(written, "P"))
+
+        assert set(planned_ranked) == set(written_ranked)
+        for row, confidence in written_ranked.items():
+            assert planned_ranked[row] == pytest.approx(confidence, abs=1e-9)
+
+    def test_plan_reports_a_join_order(self, name):
+        database = census_instance(120, 0.0).one_world_database()
+        built = CENSUS_JOINS[name]().plan(database)
+        assert built.join_order is not None
+        assert "⋈" in built.join_order
+        assert built.join_order.count("(") == built.join_order.count(")")
+
+
+def test_describe_join_order_handles_rename_above_join():
+    """A δ above a join must not mangle the rendered skeleton."""
+    from repro.core.planner import describe_join_order
+
+    query = (
+        BaseRelation("R")
+        .rename("A", "W1")
+        .join(BaseRelation("S"), "W1", "B")
+        .rename("B", "Z9")
+    )
+    rendered = describe_join_order(query)
+    assert rendered == "(R→W1 ⋈ S)"
+    assert rendered.count("(") == rendered.count(")")

@@ -270,6 +270,21 @@ class TestQueryRun:
             _distribution(unplanned.rep(), "P")
         )
 
+    def test_rerun_on_extended_representation(self, orset, join_query):
+        """A second query on the same (in-place extended) engine must not
+        collide with the first run's ``__q*`` intermediates."""
+        uwsdt = UWSDT.from_orset_relation(orset)
+        join_query.run(uwsdt, "first", optimize=False)
+        join_query.run(uwsdt, "second", optimize=False)
+        wsd = WSD.from_orset_relation(orset)
+        join_query.run(wsd, "first", optimize=False)
+        join_query.run(wsd, "second", optimize=False)
+        fresh = UWSDT.from_orset_relation(orset)
+        join_query.run(fresh, "first", optimize=False)
+        assert _distribution(uwsdt.rep(), "second") == pytest.approx(
+            _distribution(fresh.rep(), "first")
+        )
+
     def test_run_accepts_prebuilt_plan(self, orset, join_query):
         uwsdt = UWSDT.from_orset_relation(orset)
         prebuilt = join_query.plan(uwsdt)

@@ -1,35 +1,68 @@
 """The possible-worlds oracle: four evaluation strategies must agree.
 
-For random small or-set relations and random query trees, the following
-must produce the same distribution over result relations:
+For random small or-set inputs and random query trees, the following must
+produce the same distribution over result relations:
 
-1. **planned UWSDT** evaluation (``Query.run(..., optimize=True)``),
+1. **planned UWSDT** evaluation (``Query.run(..., optimize=True)`` — rewrite
+   rules, join-order search, index fast paths),
 2. **unplanned UWSDT** evaluation (the AST executed verbatim),
-3. **WSD** evaluation (the Figure 9 operators),
+3. **WSD** evaluation (the Figure 9 operators, planned),
 4. **brute force**: enumerate ``rep(W)`` world by world, evaluate the query
    classically in every world (Theorem 1's right-hand side).
 
+Three oracle depths are exercised:
+
+* *deep trees* — depth-3/4 query trees over three 3-attribute relations,
+  covering multi-way joins (and therefore the join-order enumerator);
+* *correlated components* — the inputs are first chased with a random
+  functional or equality-generating dependency, so the representation
+  contains multi-template components, not just tuple-independent or-sets;
+* *confidence* — per-tuple confidences computed natively on the result
+  representation must equal the exact tuple frequency over the enumerated
+  worlds.
+
 This is the strongest correctness statement the planner can make: every
-rewrite rule, every cost-model decision and every index fast path is
-squeezed through the paper's semantics on thousands of random plans.
+rewrite rule, every cost-model decision, every join order and every index
+fast path is squeezed through the paper's semantics on thousands of random
+plans.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import naive
 from repro.core import UWSDT, WSD
 from repro.core.algebra import BaseRelation
-from repro.relational import And, AttrAttr, AttrConst, Or
+from repro.core.chase import (
+    Comparison,
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    chase_uwsdt,
+    chase_wsd,
+)
+from repro.core.confidence import confidence, uwsdt_possible_with_confidence
+from repro.relational import And, AttrAttr, AttrConst, InconsistentWorldSetError, Or
 from repro.worlds import OrSet, OrSetRelation
 
-from _fixtures import assert_same_result_distribution, orset_relations
+from _fixtures import (
+    assert_same_result_distribution,
+    budgeted_orset_relations,
+    orset_relations,
+)
 
-#: The fixed schema of the generated base relation.
+#: The fixed schema of the single-relation (depth-2) oracle.
 BASE_ATTRS = ("A0", "A1")
 
-#: Domain of constants in generated predicates (matches orset_relations).
+#: The three disjoint-attribute relations of the deep oracle.
+ORACLE_SCHEMAS = (
+    ("R", ("A0", "A1", "A2")),
+    ("S", ("B0", "B1", "B2")),
+    ("T", ("C0", "C1", "C2")),
+)
+ORACLE_ATTRS = {name: attrs for name, attrs in ORACLE_SCHEMAS}
+
+#: Domain of constants in generated predicates (matches the row strategies).
 constants = st.integers(min_value=0, max_value=4)
 
 
@@ -50,9 +83,9 @@ def predicates(draw, attrs):
     return AttrConst(attr, op, draw(constants))
 
 
-def _schema_preserving(draw, attrs):
-    """A selection chain over the base relation (keeps the base schema)."""
-    query = BaseRelation("R")
+def _schema_preserving(draw, name, attrs):
+    """A selection chain over one base relation (keeps the base schema)."""
+    query = BaseRelation(name)
     for _ in range(draw(st.integers(min_value=0, max_value=1))):
         query = query.select(draw(predicates(attrs)))
     return query
@@ -60,14 +93,29 @@ def _schema_preserving(draw, attrs):
 
 @st.composite
 def query_trees(draw, depth=2):
-    """Random query trees over ``R`` with known output attributes."""
-    query, attrs = _tree(draw, depth, counter=[0])
+    """Random depth-2 query trees over the single relation ``R`` (PR 1 oracle)."""
+    query, _ = _tree(draw, depth, counter=[0], single_relation=True)
     return query
 
 
-def _tree(draw, depth, counter):
-    if depth == 0:
+@st.composite
+def deep_query_trees(draw, min_depth=3, max_depth=4):
+    """Random depth-3/4 query trees over the three deep-oracle relations."""
+    depth = draw(st.integers(min_value=min_depth, max_value=max_depth))
+    query, _ = _tree(draw, depth, counter=[0], single_relation=False)
+    return query
+
+
+def _base(draw, single_relation):
+    if single_relation:
         return BaseRelation("R"), BASE_ATTRS
+    name = draw(st.sampled_from(sorted(ORACLE_ATTRS)))
+    return BaseRelation(name), ORACLE_ATTRS[name]
+
+
+def _tree(draw, depth, counter, single_relation):
+    if depth == 0:
+        return _base(draw, single_relation)
     op = draw(
         st.sampled_from(
             [
@@ -84,35 +132,41 @@ def _tree(draw, depth, counter):
         )
     )
     if op == "base":
-        return BaseRelation("R"), BASE_ATTRS
+        return _base(draw, single_relation)
     if op == "select":
-        child, attrs = _tree(draw, depth - 1, counter)
+        child, attrs = _tree(draw, depth - 1, counter, single_relation)
         return child.select(draw(predicates(attrs))), attrs
     if op == "project":
-        child, attrs = _tree(draw, depth - 1, counter)
+        child, attrs = _tree(draw, depth - 1, counter, single_relation)
         keep = tuple(a for a in attrs if draw(st.booleans()))
         if not keep:
             keep = (attrs[0],)
         return child.project(keep), keep
     if op == "rename":
-        child, attrs = _tree(draw, depth - 1, counter)
+        child, attrs = _tree(draw, depth - 1, counter, single_relation)
         old = draw(st.sampled_from(sorted(attrs)))
         new = f"Z{draw(st.integers(min_value=0, max_value=2))}"
         if new in attrs:
             return child, attrs
         return child.rename(old, new), tuple(new if a == old else a for a in attrs)
     if op in ("union", "difference"):
-        left = _schema_preserving(draw, BASE_ATTRS)
-        right = _schema_preserving(draw, BASE_ATTRS)
+        if single_relation:
+            name, attrs = "R", BASE_ATTRS
+        else:
+            name = draw(st.sampled_from(sorted(ORACLE_ATTRS)))
+            attrs = ORACLE_ATTRS[name]
+        left = _schema_preserving(draw, name, attrs)
+        right = _schema_preserving(draw, name, attrs)
         if op == "union":
-            return left.union(right), BASE_ATTRS
-        return left.difference(right), BASE_ATTRS
-    # product / join: the right side is a fully renamed copy of R so the
-    # attribute sets are disjoint (the counter keeps nested products apart).
-    left, left_attrs = _tree(draw, depth - 1, counter)
-    right = BaseRelation("R")
+            return left.union(right), attrs
+        return left.difference(right), attrs
+    # product / join: the right side is a fully renamed copy of a base
+    # relation so the attribute sets are disjoint (the counter keeps nested
+    # products apart).
+    left, left_attrs = _tree(draw, depth - 1, counter, single_relation)
+    right, base_attrs = _base(draw, single_relation)
     right_attrs = []
-    for attribute in BASE_ATTRS:
+    for attribute in base_attrs:
         fresh = f"W{counter[0]}"
         counter[0] += 1
         right = right.rename(attribute, fresh)
@@ -124,28 +178,58 @@ def _tree(draw, depth, counter):
     return left.join(right, left_attr, right_attr), tuple(left_attrs) + tuple(right_attrs)
 
 
-def check_against_oracle(orset_relation, query):
-    """All four strategies must yield the same result-world distribution."""
-    base_wsd = WSD.from_orset_relation(orset_relation)
-    # 4) brute force: evaluate classically in every enumerated world.
-    reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+@st.composite
+def chase_dependencies(draw):
+    """A random FD or single-tuple EGD over the deep-oracle relation ``R``."""
+    attrs = ORACLE_ATTRS["R"]
+    if draw(st.booleans()):
+        determinants = draw(
+            st.lists(st.sampled_from(attrs), min_size=1, max_size=2, unique=True)
+        )
+        remaining = [a for a in attrs if a not in determinants]
+        dependent = draw(st.sampled_from(remaining or list(attrs)))
+        return FunctionalDependency("R", determinants, dependent)
+    premise_attr = draw(st.sampled_from(attrs))
+    conclusion_attr = draw(st.sampled_from(attrs))
+    premise = Comparison(premise_attr, draw(st.sampled_from(["=", "<", ">="])), draw(constants))
+    conclusion = Comparison(
+        conclusion_attr, draw(st.sampled_from(["=", "!=", ">="])), draw(constants)
+    )
+    return EqualityGeneratingDependency("R", [premise], conclusion)
 
-    # 1) planned UWSDT evaluation.
-    planned = UWSDT.from_orset_relation(orset_relation)
+
+# --------------------------------------------------------------------------- #
+# Oracle drivers
+# --------------------------------------------------------------------------- #
+
+
+def assert_engines_match_reference(reference, uwsdt, wsd, query):
+    """Planned UWSDT, unplanned UWSDT and (planned) WSD must match ``reference``."""
+    planned = uwsdt.copy()
     query.run(planned, "P", optimize=True)
     planned.validate()
     assert_same_result_distribution(planned.rep(), reference, "P")
 
-    # 2) unplanned UWSDT evaluation.
-    unplanned = UWSDT.from_orset_relation(orset_relation)
+    unplanned = uwsdt.copy()
     query.run(unplanned, "P", optimize=False)
     unplanned.validate()
     assert_same_result_distribution(unplanned.rep(), reference, "P")
 
-    # 3) WSD evaluation (planned: the same rewritten tree must also agree).
-    wsd = WSD.from_orset_relation(orset_relation)
-    query.run(wsd, "P", optimize=True)
-    assert_same_result_distribution(wsd.rep(), reference, "P")
+    wsd_copy = wsd.copy()
+    query.run(wsd_copy, "P", optimize=True)
+    assert_same_result_distribution(wsd_copy.rep(), reference, "P")
+
+
+def check_against_oracle(orset_relation, query):
+    """All four strategies must yield the same result-world distribution."""
+    base_wsd = WSD.from_orset_relation(orset_relation)
+    reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+    assert_engines_match_reference(
+        reference,
+        UWSDT.from_orset_relation(orset_relation),
+        WSD.from_orset_relation(orset_relation),
+        query,
+    )
 
 
 class TestPossibleWorldsOracle:
@@ -173,6 +257,133 @@ class TestPossibleWorldsOracle:
             .project(["A0", "W1"])
         )
         check_against_oracle(relation, query)
+
+
+class TestDeepPossibleWorldsOracle:
+    """Depth-3/4 trees over three 3-attribute relations (≥3-way joins)."""
+
+    @given(
+        budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=4),
+        deep_query_trees(min_depth=3, max_depth=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_deep_random_plans_match_brute_force(self, relations, query):
+        base_wsd = WSD.from_orset_relations(relations)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+        assert_engines_match_reference(
+            reference,
+            UWSDT.from_orset_relations(relations),
+            WSD.from_orset_relations(relations),
+            query,
+        )
+
+    @given(budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=3))
+    @settings(max_examples=25, deadline=None)
+    def test_three_way_product_chain_matches_brute_force(self, relations):
+        """The join-order enumerator's home turf: σ over a ×-chain of R, S, T."""
+        query = (
+            BaseRelation("R")
+            .product(BaseRelation("S"))
+            .product(BaseRelation("T"))
+            .select(AttrAttr("A0", "=", "B0"))
+            .select(AttrAttr("B1", "=", "C1"))
+        )
+        base_wsd = WSD.from_orset_relations(relations)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+        assert_engines_match_reference(
+            reference,
+            UWSDT.from_orset_relations(relations),
+            WSD.from_orset_relations(relations),
+            query,
+        )
+
+
+class TestCorrelatedComponentOracle:
+    """Chased (correlated, multi-template-component) inputs through the oracle."""
+
+    @given(
+        budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=4),
+        chase_dependencies(),
+        deep_query_trees(min_depth=2, max_depth=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chased_instances_match_brute_force(self, relations, dependency, query):
+        base_wsd = WSD.from_orset_relations(relations)
+        try:
+            cleaned = naive.clean(base_wsd.rep(), [dependency])
+        except InconsistentWorldSetError:
+            assume(False)
+        reference = naive.evaluate_query(cleaned, query, "P")
+        chased_uwsdt = chase_uwsdt(UWSDT.from_orset_relations(relations), [dependency])
+        chased_uwsdt.validate()
+        chased_wsd = chase_wsd(WSD.from_orset_relations(relations), [dependency])
+        assert_engines_match_reference(reference, chased_uwsdt, chased_wsd, query)
+
+    def test_multi_template_component_join_matches_brute_force(self):
+        """Deterministic: the chase *must* produce a cross-tuple component here,
+        and a join over the chased relation must still match brute force."""
+        relation = OrSetRelation.from_dicts(
+            "R",
+            ["A0", "A1", "A2"],
+            [
+                {"A0": 1, "A1": OrSet([2, 3]), "A2": 0},
+                {"A0": 1, "A1": OrSet([2, 4]), "A2": 1},
+            ],
+        )
+        others = [
+            OrSetRelation.from_dicts("S", ["B0", "B1", "B2"], [{"B0": 1, "B1": 2, "B2": 3}]),
+            OrSetRelation.from_dicts("T", ["C0", "C1", "C2"], [{"C0": 0, "C1": 2, "C2": 4}]),
+        ]
+        dependency = FunctionalDependency("R", ["A0"], "A1")
+        chased_uwsdt = chase_uwsdt(
+            UWSDT.from_orset_relations([relation] + others), [dependency]
+        )
+        chased_uwsdt.validate()
+        assert any(
+            len({f.tuple_id for f in component.fields}) > 1
+            for component in chased_uwsdt.components.values()
+        ), "expected the chase to correlate the two R tuples"
+        chased_wsd = chase_wsd(WSD.from_orset_relations([relation] + others), [dependency])
+
+        query = (
+            BaseRelation("R")
+            .join(BaseRelation("S"), "A1", "B1")
+            .join(BaseRelation("T"), "B1", "C1")
+        )
+        base_wsd = WSD.from_orset_relations([relation] + others)
+        cleaned = naive.clean(base_wsd.rep(), [dependency])
+        reference = naive.evaluate_query(cleaned, query, "P")
+        assert_engines_match_reference(reference, chased_uwsdt, chased_wsd, query)
+
+
+class TestConfidenceOracle:
+    """Per-tuple confidences must equal exact frequencies over the worlds."""
+
+    @given(
+        budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=3),
+        deep_query_trees(min_depth=2, max_depth=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_confidence_matches_world_frequency(self, relations, query):
+        base_wsd = WSD.from_orset_relations(relations)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+        expected_possible = naive.possible_tuples(reference, "P")
+
+        uwsdt = UWSDT.from_orset_relations(relations)
+        query.run(uwsdt, "P", optimize=True)
+        ranked = uwsdt_possible_with_confidence(uwsdt, "P")
+        assert {row for row, _ in ranked} == expected_possible
+        for row, conf in ranked:
+            assert conf == pytest.approx(
+                reference.tuple_confidence("P", row), abs=1e-6
+            )
+
+        wsd = WSD.from_orset_relations(relations)
+        query.run(wsd, "P", optimize=True)
+        for row in expected_possible:
+            assert confidence(wsd, "P", row) == pytest.approx(
+                reference.tuple_confidence("P", row), abs=1e-6
+            )
 
 
 def _pad_to_base_schema(relation):
