@@ -20,7 +20,7 @@ from repro.bench import census_instance, density_label
 from repro.census import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
 from repro.census.queries import q_four_way_join
 from repro.core.algebra import evaluate_on_database, evaluate_on_uwsdt
-from repro.core.planner import Statistics, describe_join_order, plan
+from repro.core.planner import Statistics, describe_join_order, plan, sampling_call_count
 
 from _bench_config import base_rows
 
@@ -129,3 +129,46 @@ def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
     benchmark.extra_info["join_order"] = (
         built_plan.join_order if optimize else describe_join_order(query)
     )
+
+
+# --------------------------------------------------------------------------- #
+# Statistics catalog: repeated planning against an unchanged engine
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "density", PLANNER_DENSITIES, ids=[density_label(d) for d in PLANNER_DENSITIES]
+)
+def test_repeated_query_planning_overhead(benchmark, density):
+    """Warm planning of the 4-way join: the statistics catalog serves every
+    repeat, so planning overhead drops to the pure rewrite/estimate cost and
+    the benchmark performs zero sampling work (asserted via the counter).
+
+    ``cold_plan_seconds`` in the extra info is the one genuinely cold plan
+    against a fresh copy of the same engine, for the cold/warm trajectory.
+    """
+    import time
+
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    query = q_four_way_join()
+    if density == 0.0:
+        engine = instance.one_world_database()
+        cold_engine = instance.one_world_database()
+    else:
+        engine = _chased(rows, density)
+        cold_engine = engine.copy()
+
+    start = time.perf_counter()
+    query.plan(cold_engine)
+    cold_seconds = time.perf_counter() - start
+
+    query.plan(engine)  # warm the engine's catalog
+    calls_before = sampling_call_count()
+    built = benchmark(lambda: query.plan(engine))
+    assert sampling_call_count() == calls_before, "warm planning re-sampled"
+
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["cold_plan_seconds"] = cold_seconds
+    benchmark.extra_info["join_order"] = built.join_order

@@ -9,11 +9,13 @@ from .harness import (
     clear_instance_cache,
     density_label,
     format_records,
+    run_calibration_experiment,
     run_chase_experiment,
     run_characteristics_experiment,
     run_component_size_experiment,
     run_planner_experiment,
     run_query_experiment,
+    run_repeated_planning_experiment,
     run_representation_size_experiment,
 )
 
@@ -26,10 +28,12 @@ __all__ = [
     "clear_instance_cache",
     "density_label",
     "format_records",
+    "run_calibration_experiment",
     "run_chase_experiment",
     "run_characteristics_experiment",
     "run_component_size_experiment",
     "run_planner_experiment",
     "run_query_experiment",
+    "run_repeated_planning_experiment",
     "run_representation_size_experiment",
 ]

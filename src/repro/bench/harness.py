@@ -29,6 +29,8 @@ from ..census.schema import CENSUS_RELATION
 from ..core.algebra.query import Query, evaluate_on_database, evaluate_on_uwsdt
 from ..core.chase import chase_uwsdt
 from ..core.planner import Statistics, plan
+from ..core.planner.calibrate import calibrate
+from ..core.planner.sampling import sampling_call_count
 from ..core.uwsdt import UWSDT
 from ..relational.database import Database
 from ..relational.relation import Relation
@@ -381,6 +383,92 @@ def run_planner_experiment(
                     "join_order": built_plan.join_order,
                 }
             )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Statistics catalog: repeated-planning overhead (cold vs warm)
+# --------------------------------------------------------------------------- #
+
+
+def run_repeated_planning_experiment(
+    sizes: Sequence[int] = (1_000, 2_000),
+    densities: Sequence[float] = (0.0, 0.001),
+    query_factory: Optional[Callable[[], Query]] = None,
+    warm_repeats: int = 5,
+    seed: int = 42,
+) -> List[Dict[str, Any]]:
+    """Cold-vs-warm planning against the same engine (the catalog's payoff).
+
+    The first ``Query.plan(engine)`` samples every base relation into the
+    engine's statistics catalog; every later plan of the same (or a
+    similar) query is served from the cache.  Each record reports both
+    wall-clock times, the overhead ratio, and the sampling-call deltas —
+    the warm delta must be zero on an unchanged engine.
+    """
+    factory = query_factory or q_four_way_join
+    records: List[Dict[str, Any]] = []
+    for density in densities:
+        for rows in sizes:
+            instance = census_instance(rows, density, seed)
+            engine: Any
+            if density == 0.0:
+                engine = instance.one_world_database()
+            else:
+                engine = instance.chased()
+            query = factory()
+            calls_start = sampling_call_count()
+            _, cold_seconds = _timed(lambda: query.plan(engine))
+            cold_calls = sampling_call_count() - calls_start
+            warm_seconds = []
+            calls_warm_start = sampling_call_count()
+            for _ in range(warm_repeats):
+                _, elapsed = _timed(lambda: query.plan(engine))
+                warm_seconds.append(elapsed)
+            warm_calls = sampling_call_count() - calls_warm_start
+            best_warm = min(warm_seconds)
+            records.append(
+                {
+                    "experiment": "repeated-planning",
+                    "rows": rows,
+                    "density": density,
+                    "density_label": density_label(density),
+                    "cold_plan_seconds": cold_seconds,
+                    "warm_plan_seconds": best_warm,
+                    "overhead_ratio": cold_seconds / best_warm if best_warm > 0 else float("inf"),
+                    "cold_sampling_calls": cold_calls,
+                    "warm_sampling_calls": warm_calls,
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Cost-constant calibration (microbenchmark-fitted CostModels)
+# --------------------------------------------------------------------------- #
+
+
+def run_calibration_experiment(
+    engines: Sequence[str] = ("database", "wsd", "uwsdt"),
+    smoke: bool = True,
+    repeats: int = 2,
+) -> List[Dict[str, Any]]:
+    """Fit the cost constants and return one record per engine.
+
+    A thin harness wrapper over :func:`repro.core.planner.calibrate.calibrate`
+    so the fitted constants land in the same record format as every other
+    experiment (and can be tabulated with :func:`format_records`).
+    """
+    profile = calibrate(engines=engines, smoke=smoke, repeats=repeats)
+    records: List[Dict[str, Any]] = []
+    for engine_name, model in profile.models.items():
+        record: Dict[str, Any] = {
+            "experiment": "calibration",
+            "engine": engine_name,
+            "source": model.source,
+        }
+        record.update(model.constants())
+        records.append(record)
     return records
 
 

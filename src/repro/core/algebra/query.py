@@ -95,9 +95,13 @@ class Query:
     def plan(self, engine=None, statistics=None):
         """Build a :class:`~repro.core.planner.Plan` for this query.
 
-        ``engine`` may be a Database, WSD or UWSDT (statistics are gathered
-        from it); alternatively pass prebuilt ``statistics``.  With neither,
-        planning runs with default statistics (schema-blind rewrites only).
+        ``engine`` may be a Database, WSD or UWSDT: statistics are served
+        from the engine's attached
+        :class:`~repro.core.planner.catalog.StatisticsCatalog`, so planning
+        a repeated (or similar) query against an unchanged engine performs
+        zero sampling work.  Alternatively pass prebuilt ``statistics``.
+        With neither, planning runs with default statistics (schema-blind
+        rewrites only).
         """
         from ..planner import Statistics, plan as build_plan
 

@@ -107,16 +107,12 @@ def _drop_result_tuple(uwsdt: UWSDT, relation: str, tuple_id: Any, attributes: S
         if cid is None:
             continue
         reduced = uwsdt.components[cid].project_away([field])
-        uwsdt.field_to_cid.pop(field, None)
         if reduced is None:
-            uwsdt.components.pop(cid, None)
+            uwsdt.remove_component(cid)
         else:
-            old = uwsdt.components[cid]
-            for other in old.fields:
-                uwsdt.field_to_cid.pop(other, None)
-            uwsdt.components[cid] = reduced
-            for other in reduced.fields:
-                uwsdt.field_to_cid[other] = cid
+            # Going through replace_component keeps the field map and the
+            # per-relation placeholder counts in sync.
+            uwsdt.replace_component(cid, reduced)
 
 
 def _merge_target_components(uwsdt: UWSDT, fields: Sequence[FieldRef]) -> int:

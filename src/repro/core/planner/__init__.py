@@ -10,18 +10,41 @@
   sampled predicate/join selectivities and distinct counts.
 * :mod:`repro.core.planner.joins`    — join-graph extraction and the
   Selinger-style bushy-plan enumerator (DP ≤ 8 relations, greedy above).
+* :mod:`repro.core.planner.catalog`  — the per-engine statistics catalog:
+  version-keyed caching of samples/row counts/densities, so repeated
+  planning against an unchanged engine does zero sampling work.
+* :mod:`repro.core.planner.calibrate` — microbenchmark-fitted cost
+  constants, persisted as JSON profiles ``CostModel.for_engine`` loads.
 * :mod:`repro.core.planner.planner`  — the fixpoint driver and the
   inspectable :class:`Plan` (``plan.explain()``).
 """
 
+from .calibrate import (
+    CALIBRATION_ENGINES,
+    CalibrationProfile,
+    Measurement,
+    calibrate,
+    fit_cost_model,
+    run_microbenchmarks,
+)
+from .catalog import CatalogEntry, StatisticsCatalog, catalog_for
 from .cost import (
     COST_MODELS,
+    COST_PROFILE_ENV,
+    COST_PROFILE_FORMAT,
     CostEstimate,
     CostModel,
+    FIXED_SELECTIVITY_FLOOR,
     Statistics,
+    active_cost_profile_path,
+    clear_cost_profile,
     equality_join_selectivity,
     estimate,
+    floored_predicate_selectivity,
+    install_cost_profile,
+    load_cost_profile,
     output_attributes,
+    parse_cost_profile,
     predicate_selectivity,
     selection_selectivity,
 )
@@ -61,16 +84,35 @@ from .sampling import (
     RelationSample,
     join_selectivity,
     reservoir,
+    sampling_call_count,
 )
 
 __all__ = [
+    "CALIBRATION_ENGINES",
+    "CalibrationProfile",
+    "Measurement",
+    "calibrate",
+    "fit_cost_model",
+    "run_microbenchmarks",
+    "CatalogEntry",
+    "StatisticsCatalog",
+    "catalog_for",
     "COST_MODELS",
+    "COST_PROFILE_ENV",
+    "COST_PROFILE_FORMAT",
     "CostEstimate",
     "CostModel",
+    "FIXED_SELECTIVITY_FLOOR",
     "Statistics",
+    "active_cost_profile_path",
+    "clear_cost_profile",
     "equality_join_selectivity",
     "estimate",
+    "floored_predicate_selectivity",
+    "install_cost_profile",
+    "load_cost_profile",
     "output_attributes",
+    "parse_cost_profile",
     "predicate_selectivity",
     "selection_selectivity",
     "GREEDY_THRESHOLD",
@@ -102,4 +144,5 @@ __all__ = [
     "RelationSample",
     "join_selectivity",
     "reservoir",
+    "sampling_call_count",
 ]

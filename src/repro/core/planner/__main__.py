@@ -1,0 +1,10 @@
+"""CLI entry point: ``python -m repro.core.planner`` runs the calibrator.
+
+See :mod:`repro.core.planner.calibrate` for the options and the profile
+JSON format.
+"""
+
+from .calibrate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

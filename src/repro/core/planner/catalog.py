@@ -1,0 +1,284 @@
+"""Persistent per-engine statistics catalog with version-based invalidation.
+
+Before this module, every ``Query.run(optimize=True)`` re-ran reservoir
+sampling over the query's base relations: planning the *same* query twice
+against an unchanged engine paid the full sampling cost twice.  The
+:class:`StatisticsCatalog` fixes that by caching, per relation,
+
+* the bounded reservoir :class:`~repro.core.planner.sampling.RelationSample`
+  (whose per-attribute value histograms are memoized on the sample object,
+  so histograms persist too),
+* the row count and the placeholder density,
+* the attribute list,
+
+keyed by a *version key* that moves exactly when the underlying relation
+could have changed:
+
+========  ==================================================================
+engine    version key of relation ``R``
+========  ==================================================================
+Database  identity + ``Relation.version`` of ``R`` (bumped per mutation)
+UWSDT     identity + version of the ``R`` template relation, plus
+          ``UWSDT.relation_placeholder_count(R)`` — together they fully
+          determine ``R``'s statistics (samples read only the template,
+          densities only the count), so query intermediates added by
+          ``Q̂`` and chase component merges leave base entries valid
+WSD       ``WSD.revision`` (bumped by every component surgery and relation
+          add/drop — WSD samples resolve each field *through* its
+          component, so any surgery may change any relation's sample)
+========  ==================================================================
+
+Entries are checked lazily on every access (polling the version key is a
+couple of integer comparisons), and additionally dropped *eagerly* through
+:meth:`~repro.relational.relation.Relation.watch` hooks on the sampled
+relation objects — both layers together make "mutate, then replan" pick up
+fresh statistics through every mutation path.
+
+One catalog is attached per engine object (:func:`catalog_for` stores it on
+the engine; engine ``copy()`` methods deliberately do not carry it over).
+``Statistics.from_engine`` — and therefore ``Query.plan``/``Query.run`` —
+is a thin view over the catalog: planning a repeated or similar query
+performs zero sampling work, which
+:func:`~repro.core.planner.sampling.sampling_call_count` lets tests and
+benchmarks assert directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...relational.database import Database
+from ...relational.relation import Relation
+from ..uwsdt import UWSDT
+from ..wsd import WSD
+from .cost import Statistics, uwsdt_relation_statistics, wsd_relation_statistics
+from .sampling import (
+    DEFAULT_SAMPLE_SIZE,
+    RelationSample,
+    sample_database,
+    sample_uwsdt,
+    sample_wsd,
+)
+
+#: Attribute under which :func:`catalog_for` stores the catalog on an engine.
+CATALOG_ATTRIBUTE = "_statistics_catalog"
+
+
+@dataclass
+class CatalogEntry:
+    """Cached statistics of one relation, valid while ``key`` matches."""
+
+    key: Tuple[Any, ...]
+    sample_size: int
+    row_count: int
+    density: float
+    attributes: Tuple[str, ...]
+    sample: Optional[RelationSample]
+    #: The versioned object the key's identity component refers to (the
+    #: relation / template Relation, or the WSD itself).  Holding it keeps
+    #: the identity check sound (no id reuse while the entry lives).
+    anchor: Any
+
+
+class StatisticsCatalog:
+    """Version-validated cache of per-relation planner statistics."""
+
+    def __init__(self, engine: Any, sample_size: int = DEFAULT_SAMPLE_SIZE) -> None:
+        if not isinstance(engine, (Database, WSD, UWSDT)):
+            raise TypeError(f"cannot derive statistics from {type(engine).__name__}")
+        self.engine = engine
+        self.sample_size = sample_size
+        self._entries: Dict[str, CatalogEntry] = {}
+        #: Eager invalidation hooks: relation name -> (watched Relation, callback).
+        self._watchers: Dict[str, Tuple[Relation, Callable]] = {}
+        #: Cache telemetry (reads that reused / rebuilt an entry).
+        self.hits = 0
+        self.misses = 0
+        if isinstance(engine, Database):
+            self.kind = "database"
+        elif isinstance(engine, UWSDT):
+            self.kind = "uwsdt"
+        else:
+            self.kind = "wsd"
+
+    # ------------------------------------------------------------------ #
+    # Engine adapters
+    # ------------------------------------------------------------------ #
+
+    def relation_names(self) -> List[str]:
+        if self.kind == "database":
+            return list(self.engine.relation_names)
+        return [rs.name for rs in self.engine.schema]
+
+    def _version_key(self, name: str) -> Tuple[Tuple[Any, ...], Any]:
+        """``(key, anchor)`` of one relation's current state."""
+        if self.kind == "database":
+            relation = self.engine.relation(name)
+            return (relation.version,), relation
+        if self.kind == "uwsdt":
+            template = self.engine.templates[name]
+            return (template.version, self.engine.relation_placeholder_count(name)), template
+        return (self.engine.revision,), self.engine
+
+    def _row_count_and_density(self, name: str) -> Tuple[int, float]:
+        if self.kind == "database":
+            return len(self.engine.relation(name)), 0.0
+        if self.kind == "uwsdt":
+            return uwsdt_relation_statistics(self.engine, name)
+        return wsd_relation_statistics(self.engine, name)
+
+    def _sample_one(self, name: str, sample_size: int) -> Optional[RelationSample]:
+        if not sample_size:
+            return None
+        if self.kind == "database":
+            samples = sample_database(self.engine, sample_size, only=(name,))
+        elif self.kind == "uwsdt":
+            samples = sample_uwsdt(self.engine, sample_size, only=(name,))
+        else:
+            samples = sample_wsd(self.engine, sample_size, only=(name,))
+        return samples.get(name)
+
+    # ------------------------------------------------------------------ #
+    # Entries
+    # ------------------------------------------------------------------ #
+
+    def entry(self, name: str, sample_size: Optional[int] = None) -> Tuple[CatalogEntry, str]:
+        """The (validated) entry for one relation, plus its provenance:
+        ``"cached-sample"`` when reused, ``"fresh-sample"`` when rebuilt."""
+        size = self.sample_size if sample_size is None else sample_size
+        key, anchor = self._version_key(name)
+        cached = self._entries.get(name)
+        if (
+            cached is not None
+            and cached.anchor is anchor
+            and cached.key == key
+            and cached.sample_size == size
+        ):
+            self.hits += 1
+            return cached, "cached-sample"
+        self.misses += 1
+        row_count, density = self._row_count_and_density(name)
+        attributes = self._relation_attributes(name)
+        built = CatalogEntry(
+            key=key,
+            sample_size=size,
+            row_count=row_count,
+            density=density,
+            attributes=attributes,
+            sample=self._sample_one(name, size),
+            anchor=anchor,
+        )
+        self._entries[name] = built
+        self._watch(name, anchor)
+        return built, "fresh-sample"
+
+    def _relation_attributes(self, name: str) -> Tuple[str, ...]:
+        if self.kind == "database":
+            return self.engine.relation(name).schema.attributes
+        return self.engine.schema.relation(name).attributes
+
+    def _watch(self, name: str, anchor: Any) -> None:
+        """Eagerly drop the entry when the anchored Relation mutates.
+
+        Redundant with key polling for correctness, but it frees stale
+        samples immediately and exercises the mutation hooks end to end.
+        """
+        if not isinstance(anchor, Relation):
+            return  # WSD entries anchor the engine; revision polling covers them
+        watched = self._watchers.get(name)
+        if watched is not None and watched[0] is anchor:
+            return
+        if watched is not None:
+            watched[0].unwatch(watched[1])
+
+        def invalidate(_relation: Relation, name: str = name) -> None:
+            self._entries.pop(name, None)
+
+        anchor.watch(invalidate)
+        self._watchers[name] = (anchor, invalidate)
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop one relation's entry (or all of them when ``name`` is None)."""
+        if name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # The Statistics view
+    # ------------------------------------------------------------------ #
+
+    def statistics(
+        self,
+        relations: Optional[Sequence[str]] = None,
+        sample_size: Optional[int] = None,
+    ) -> Statistics:
+        """A :class:`Statistics` view over the catalog.
+
+        ``relations`` restricts *sampling* (planning passes the query's
+        base relations so unrelated, possibly huge relations are never
+        scanned); row counts, densities and attribute lists still cover
+        every relation of the engine, exactly as the pre-catalog
+        ``Statistics.from_*`` constructors did.  Warm entries are served
+        without any sampling work.
+        """
+        size = self.sample_size if sample_size is None else sample_size
+        known = self.relation_names()
+        if relations is None:
+            wanted: Iterable[str] = known
+        else:
+            present = set(known)
+            wanted = set(name for name in relations if name in present)
+        row_counts: Dict[str, int] = {}
+        densities: Dict[str, float] = {}
+        attributes: Dict[str, Tuple[str, ...]] = {}
+        samples: Dict[str, RelationSample] = {}
+        provenance: Dict[str, str] = {}
+        for name in known:
+            if name in wanted:
+                entry, source = self.entry(name, size)
+                row_counts[name] = entry.row_count
+                densities[name] = entry.density
+                attributes[name] = entry.attributes
+                if entry.sample is not None:
+                    samples[name] = entry.sample
+                    provenance[name] = source
+                else:
+                    provenance[name] = "fixed-constants"
+            else:
+                # Outside the sampling restriction: cheap metadata only.
+                row_counts[name], densities[name] = self._row_count_and_density(name)
+                attributes[name] = self._relation_attributes(name)
+                provenance[name] = "fixed-constants"
+        return Statistics(
+            row_counts,
+            densities,
+            attributes,
+            samples,
+            engine=self.kind,
+            sample_provenance=provenance,
+            source="catalog",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StatisticsCatalog({self.kind}, {len(self._entries)} entries, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )
+
+
+def catalog_for(engine: Any, sample_size: int = DEFAULT_SAMPLE_SIZE) -> StatisticsCatalog:
+    """The catalog attached to ``engine``, creating (and attaching) it on
+    first use.  Engine copies start with no catalog of their own."""
+    catalog = getattr(engine, CATALOG_ATTRIBUTE, None)
+    if catalog is None:
+        catalog = StatisticsCatalog(engine, sample_size)
+        try:
+            setattr(engine, CATALOG_ATTRIBUTE, catalog)
+        except AttributeError:
+            pass  # engine type without the slot: still usable, just unattached
+    return catalog

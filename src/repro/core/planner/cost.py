@@ -30,8 +30,10 @@ effective selectivity is ``s + d·(1 − s)`` for placeholder density ``d``.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 from ...relational.predicates import And, AttrAttr, AttrConst, Not, Or, Predicate, TruePredicate
 from ..algebra.query import (
@@ -64,6 +66,13 @@ EQUALITY_SELECTIVITY = 0.1
 #: Assumed selectivity of a range atom (``<``, ``<=``, ``>``, ``>=``).
 RANGE_SELECTIVITY = 1.0 / 3.0
 
+#: Floor applied to fixed-constant selectivity estimates before they feed a
+#: cost formula — mirrors :func:`~repro.core.planner.sampling.floor_selectivity`
+#: for sampled estimates.  A predicate the constants deem impossible (e.g.
+#: ``¬TRUE``, or a deep conjunction of equalities) must not zero out every
+#: cost downstream of it and make an arbitrarily bad plan look free.
+FIXED_SELECTIVITY_FLOOR = 0.5 / DEFAULT_SAMPLE_SIZE
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -90,6 +99,51 @@ class CostModel:
     join_build: float = 1.0
     join_probe: float = 1.0
     difference_pair: float = 1.0
+    #: ``"hand-tuned"`` for the built-in defaults, ``"calibrated"`` for
+    #: constants fitted by :mod:`~repro.core.planner.calibrate`.
+    source: str = "hand-tuned"
+
+    #: The fields a calibration profile carries (everything but name/source).
+    CONSTANT_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "select_tuple",
+        "project_tuple",
+        "rename_tuple",
+        "union_tuple",
+        "emit_tuple",
+        "join_build",
+        "join_probe",
+        "difference_pair",
+    )
+
+    def constants(self) -> Dict[str, float]:
+        """The tunable constants as a plain dict (profile JSON payload)."""
+        return {field: getattr(self, field) for field in self.CONSTANT_FIELDS}
+
+    @classmethod
+    def from_constants(
+        cls, name: str, constants: Mapping[str, float], source: str = "calibrated"
+    ) -> "CostModel":
+        """Build a model from a profile payload; unknown keys are rejected."""
+        unknown = sorted(set(constants) - set(cls.CONSTANT_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown cost constants {unknown!r}")
+        return cls(name=name, source=source, **{k: float(v) for k, v in constants.items()})
+
+    @classmethod
+    def for_engine(cls, engine_name: str) -> "CostModel":
+        """The active model for an engine: calibrated profile first, then the
+        hand-tuned constants as fallback.
+
+        A profile is active after :func:`load_cost_profile` /
+        :func:`install_cost_profile`, or automatically when the
+        ``REPRO_COST_PROFILE`` environment variable names a profile JSON
+        file at first use.
+        """
+        _ensure_env_profile()
+        model = _PROFILE_MODELS.get(engine_name)
+        if model is not None:
+            return model
+        return COST_MODELS.get(engine_name, GENERIC_COST)
 
 
 #: Back-compatible defaults: with every constant at 1.0 the formulas reduce
@@ -141,6 +195,124 @@ COST_MODELS: Dict[str, CostModel] = {
 }
 
 
+# --------------------------------------------------------------------------- #
+# Calibrated-constant profiles (written by repro.core.planner.calibrate)
+# --------------------------------------------------------------------------- #
+
+#: Environment variable naming a profile JSON file to auto-load at first use.
+COST_PROFILE_ENV = "REPRO_COST_PROFILE"
+
+#: The ``format`` marker every profile JSON document must carry.
+COST_PROFILE_FORMAT = "repro-cost-profile"
+
+_PROFILE_MODELS: Dict[str, CostModel] = {}
+_PROFILE_PATH: Optional[str] = None
+_PROFILE_ENV_CHECKED = False
+
+
+def parse_cost_profile(document: Mapping[str, Any]) -> Dict[str, CostModel]:
+    """Parse a profile JSON document into per-engine calibrated models.
+
+    The document format (see docs/planner.md) is::
+
+        {"format": "repro-cost-profile", "version": 1,
+         "engines": {"uwsdt": {"select_tuple": 1.03, ...}, ...},
+         "metadata": {...}}
+    """
+    if document.get("format") != COST_PROFILE_FORMAT:
+        raise ValueError(
+            f"not a cost profile (format={document.get('format')!r}, "
+            f"expected {COST_PROFILE_FORMAT!r})"
+        )
+    engines = document.get("engines")
+    if not isinstance(engines, Mapping):
+        raise ValueError("cost profile is missing the 'engines' mapping")
+    return {
+        name: CostModel.from_constants(name, constants)
+        for name, constants in engines.items()
+    }
+
+
+def install_cost_profile(models: Mapping[str, CostModel], path: Optional[str] = None) -> None:
+    """Make ``CostModel.for_engine`` serve the given calibrated models."""
+    global _PROFILE_PATH, _PROFILE_ENV_CHECKED
+    # An explicit install overrides (and must not later be clobbered by)
+    # the REPRO_COST_PROFILE environment variable.
+    _PROFILE_ENV_CHECKED = True
+    _PROFILE_MODELS.clear()
+    _PROFILE_MODELS.update(models)
+    _PROFILE_PATH = path
+
+
+def load_cost_profile(path: str) -> Dict[str, CostModel]:
+    """Load and install a calibration profile from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    models = parse_cost_profile(document)
+    install_cost_profile(models, path=os.fspath(path))
+    return models
+
+
+def clear_cost_profile() -> None:
+    """Drop any installed profile; ``for_engine`` falls back to hand-tuned."""
+    global _PROFILE_PATH, _PROFILE_ENV_CHECKED
+    _PROFILE_MODELS.clear()
+    _PROFILE_PATH = None
+    _PROFILE_ENV_CHECKED = True  # an explicit clear also overrides the env var
+
+
+def active_cost_profile_path() -> Optional[str]:
+    """Path of the installed profile, or None when running on hand-tuned
+    constants (or when the profile was installed without a path)."""
+    return _PROFILE_PATH
+
+
+def _ensure_env_profile() -> None:
+    global _PROFILE_ENV_CHECKED
+    if _PROFILE_ENV_CHECKED:
+        return
+    _PROFILE_ENV_CHECKED = True
+    path = os.environ.get(COST_PROFILE_ENV)
+    if not path:
+        return
+    try:
+        load_cost_profile(path)
+    except (OSError, TypeError, ValueError, json.JSONDecodeError):
+        # A broken profile must never take planning down; fall back silently
+        # to the hand-tuned constants.  (TypeError: non-numeric constants or
+        # a non-mapping 'engines' payload.)
+        pass
+
+
+def uwsdt_relation_statistics(uwsdt: Any, relation_name: str) -> Tuple[int, float]:
+    """``(row count, placeholder density)`` of one UWSDT relation.
+
+    The single source of the density formula — shared by
+    ``Statistics.from_uwsdt`` and the statistics catalog, whose cached
+    entries must agree exactly with fresh statistics.
+    """
+    rows = uwsdt.template_size(relation_name)
+    arity = uwsdt.schema.relation(relation_name).arity
+    placeholders = uwsdt.relation_placeholder_count(relation_name)
+    return rows, min(1.0, placeholders / max(1, rows * arity))
+
+
+def wsd_relation_statistics(wsd: Any, relation_name: str) -> Tuple[int, float]:
+    """``(row count, uncertain-field density)`` of one WSD relation.
+
+    A field is uncertain when its component has more than one local world;
+    shared by ``Statistics.from_wsd`` and the statistics catalog.
+    """
+    rows = len(wsd.tuple_ids.get(relation_name, ()))
+    arity = wsd.schema.relation(relation_name).arity
+    uncertain = 0
+    for component in wsd.components:
+        if component.size <= 1:
+            continue
+        uncertain += sum(1 for field in component.fields if field.relation == relation_name)
+    return rows, min(1.0, uncertain / max(1, rows * arity))
+
+
 class Statistics:
     """Per-relation cardinality/uncertainty statistics feeding the cost model."""
 
@@ -151,6 +323,8 @@ class Statistics:
         attributes: Optional[Mapping[str, Tuple[str, ...]]] = None,
         samples: Optional[Mapping[str, RelationSample]] = None,
         engine: str = "generic",
+        sample_provenance: Optional[Mapping[str, str]] = None,
+        source: str = "adhoc",
     ) -> None:
         self.row_counts: Dict[str, int] = dict(row_counts or {})
         self.placeholder_densities: Dict[str, float] = dict(placeholder_densities or {})
@@ -162,6 +336,18 @@ class Statistics:
         self.samples: Dict[str, RelationSample] = dict(samples or {})
         #: Which engine these statistics describe (selects the CostModel).
         self.engine = engine
+        #: Where these statistics came from: ``"catalog"`` for catalog views,
+        #: ``"fresh"`` for direct engine sampling, ``"adhoc"`` for hand-built.
+        self.source = source
+        #: Per-relation estimate provenance for ``Plan.explain()``:
+        #: ``"cached-sample"`` / ``"fresh-sample"`` / ``"fixed-constants"``.
+        if sample_provenance is None:
+            sample_provenance = {name: "fresh-sample" for name in self.samples}
+        self.sample_provenance: Dict[str, str] = dict(sample_provenance)
+
+    def provenance(self, relation_name: str) -> str:
+        """How this relation's estimates are derived (for ``explain()``)."""
+        return self.sample_provenance.get(relation_name, "fixed-constants")
 
     # -- constructors ------------------------------------------------------ #
 
@@ -180,7 +366,7 @@ class Statistics:
             if sample_size
             else {}
         )
-        return cls(rows, densities, attrs, samples, engine="database")
+        return cls(rows, densities, attrs, samples, engine="database", source="fresh")
 
     @classmethod
     def from_wsd(
@@ -189,20 +375,13 @@ class Statistics:
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         sample_relations: Optional[Tuple[str, ...]] = None,
     ) -> "Statistics":
-        rows = {name: len(ids) for name, ids in wsd.tuple_ids.items()}
         attrs = {rs.name: rs.attributes for rs in wsd.schema}
-        uncertain: Dict[str, int] = {}
-        for component in wsd.components:
-            if component.size <= 1:
-                continue
-            for field in component.fields:
-                uncertain[field.relation] = uncertain.get(field.relation, 0) + 1
-        densities = {}
+        rows: Dict[str, int] = {}
+        densities: Dict[str, float] = {}
         for rs in wsd.schema:
-            fields = max(1, rows.get(rs.name, 0) * rs.arity)
-            densities[rs.name] = min(1.0, uncertain.get(rs.name, 0) / fields)
+            rows[rs.name], densities[rs.name] = wsd_relation_statistics(wsd, rs.name)
         samples = sample_wsd(wsd, sample_size, only=sample_relations) if sample_size else {}
-        return cls(rows, densities, attrs, samples, engine="wsd")
+        return cls(rows, densities, attrs, samples, engine="wsd", source="fresh")
 
     @classmethod
     def from_uwsdt(
@@ -211,19 +390,15 @@ class Statistics:
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         sample_relations: Optional[Tuple[str, ...]] = None,
     ) -> "Statistics":
-        rows = {rs.name: uwsdt.template_size(rs.name) for rs in uwsdt.schema}
         attrs = {rs.name: rs.attributes for rs in uwsdt.schema}
-        placeholders: Dict[str, int] = {}
-        for field in uwsdt.field_to_cid:
-            placeholders[field.relation] = placeholders.get(field.relation, 0) + 1
-        densities = {}
+        rows: Dict[str, int] = {}
+        densities: Dict[str, float] = {}
         for rs in uwsdt.schema:
-            fields = max(1, rows.get(rs.name, 0) * rs.arity)
-            densities[rs.name] = min(1.0, placeholders.get(rs.name, 0) / fields)
+            rows[rs.name], densities[rs.name] = uwsdt_relation_statistics(uwsdt, rs.name)
         samples = (
             sample_uwsdt(uwsdt, sample_size, only=sample_relations) if sample_size else {}
         )
-        return cls(rows, densities, attrs, samples, engine="uwsdt")
+        return cls(rows, densities, attrs, samples, engine="uwsdt", source="fresh")
 
     @classmethod
     def from_engine(
@@ -232,23 +407,22 @@ class Statistics:
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         sample_relations: Optional[Tuple[str, ...]] = None,
     ) -> "Statistics":
-        """Dispatch on the engine type (Database, WSD or UWSDT).
+        """Statistics for a live engine, served from its statistics catalog.
 
+        This is a thin view over the engine's attached
+        :class:`~repro.core.planner.catalog.StatisticsCatalog`: samples, row
+        counts and densities are cached per relation and invalidated by
+        version/revision counters, so planning a repeated (or similar) query
+        against an unchanged engine performs **zero** sampling work.
         ``sample_relations`` restricts row sampling to the named relations —
         planning passes the query's base relations, so relations a query
-        never touches are not scanned.
+        never touches are not scanned (their row counts, densities and
+        attributes are still reported).  Use ``from_database`` /
+        ``from_wsd`` / ``from_uwsdt`` to force fresh, uncached sampling.
         """
-        from ...relational.database import Database
-        from ..uwsdt import UWSDT
-        from ..wsd import WSD
+        from .catalog import catalog_for
 
-        if isinstance(engine, Database):
-            return cls.from_database(engine, sample_size, sample_relations)
-        if isinstance(engine, UWSDT):
-            return cls.from_uwsdt(engine, sample_size, sample_relations)
-        if isinstance(engine, WSD):
-            return cls.from_wsd(engine, sample_size, sample_relations)
-        raise TypeError(f"cannot derive statistics from {type(engine).__name__}")
+        return catalog_for(engine, sample_size).statistics(sample_relations, sample_size)
 
     # -- lookups ----------------------------------------------------------- #
 
@@ -265,7 +439,8 @@ class Statistics:
         return self.samples.get(relation_name)
 
     def cost_model(self) -> CostModel:
-        return COST_MODELS.get(self.engine, GENERIC_COST)
+        """The active model for this engine (calibrated profile, else hand-tuned)."""
+        return CostModel.for_engine(self.engine)
 
     def without_samples(self) -> "Statistics":
         """A copy that estimates with the fixed constants only (for explain)."""
@@ -314,13 +489,23 @@ def predicate_selectivity(predicate: Predicate) -> float:
     return 0.5
 
 
+def floored_predicate_selectivity(predicate: Predicate) -> float:
+    """Fixed-constant selectivity clamped into ``(0, 1]``.
+
+    :func:`predicate_selectivity` itself is kept pure (so ``¬p`` composes as
+    ``1 − p``); the floor is applied here, at the boundary where the value
+    feeds a cost formula.
+    """
+    return max(min(predicate_selectivity(predicate), 1.0), FIXED_SELECTIVITY_FLOOR)
+
+
 def selection_selectivity(predicate: Predicate, sample: Optional[RelationSample]) -> float:
     """Sampled selectivity when a sample can answer, fixed constants otherwise."""
     if sample is not None:
         sampled = sample.selectivity(predicate)
         if sampled is not None:
             return sampled
-    return predicate_selectivity(predicate)
+    return floored_predicate_selectivity(predicate)
 
 
 def equality_join_selectivity(

@@ -47,8 +47,8 @@ from .cost import (
     Statistics,
     equality_join_selectivity,
     estimate_node,
+    floored_predicate_selectivity,
     join_step,
-    predicate_selectivity,
     product_step,
     select_step,
 )
@@ -225,7 +225,7 @@ class _Costing:
                     leaf_samples[leaf_l], attr_l, leaf_samples[leaf_r], attr_r
                 )
             else:
-                self.selectivities[entry.index] = predicate_selectivity(entry.predicate)
+                self.selectivities[entry.index] = floored_predicate_selectivity(entry.predicate)
 
     def combine(self, left: PlanState, right: PlanState) -> PlanState:
         """Join (or cross) two disjoint plan states, applying every predicate

@@ -25,7 +25,7 @@ from ..algebra.query import (
     Select,
     Union,
 )
-from .cost import CostEstimate, Statistics, estimate
+from .cost import CostEstimate, Statistics, active_cost_profile_path, estimate
 from .rules import DEFAULT_PHASES, RewriteContext, RewriteRule
 
 #: Safety bound on fixpoint iterations per phase (a phase that needs more is
@@ -114,8 +114,38 @@ class Plan:
         """The join/product skeleton of the chosen tree (None if join-free)."""
         return describe_join_order(self.chosen)
 
+    #: Human-readable provenance labels for ``explain()``.
+    _PROVENANCE_LABELS = {
+        "cached-sample": "cached sample",
+        "fresh-sample": "fresh sample",
+        "fixed-constants": "fixed-constant fallback (no sample)",
+    }
+
+    def statistics_report(self) -> List[str]:
+        """One line per base relation: where its cost inputs came from.
+
+        Each estimate is derived either from a *cached* catalog sample, a
+        sample drawn *fresh* for this plan, or — when no sample exists —
+        the fixed selectivity constants.  ``explain()`` includes the report
+        so mixed provenances are visible instead of silent.
+        """
+        lines: List[str] = []
+        for name in self.original.base_relations():
+            provenance = self.statistics.provenance(name)
+            label = self._PROVENANCE_LABELS.get(provenance, provenance)
+            sample = self.statistics.sample(name)
+            if sample is not None:
+                label += f" ({len(sample)} of {self.statistics.row_count(name):,} rows)"
+            lines.append(f"  {name}: {label}")
+        return lines
+
     def explain(self) -> str:
         """Human-readable account of the planning decision."""
+        model = self.statistics.cost_model()
+        profile = active_cost_profile_path()
+        model_origin = model.source
+        if model.source == "calibrated" and profile is not None:
+            model_origin += f" profile {profile}"
         lines = [
             "query plan",
             "==========",
@@ -129,6 +159,11 @@ class Plan:
                 f"           fixed-constant estimate "
                 f"{self.cost_fixed_before.cost:,.0f} -> {self.cost_fixed_after.cost:,.0f}"
             )
+        lines.append(f"cost model: {model.name} ({model_origin} constants)")
+        statistics_lines = self.statistics_report()
+        if statistics_lines:
+            lines.append("statistics:")
+            lines.extend(statistics_lines)
         order = self.join_order
         if order is not None:
             lines.append(f"join order: {order}")

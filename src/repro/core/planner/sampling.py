@@ -55,6 +55,21 @@ SAMPLE_SEED = 0x5EED
 #: Cap on rows of derived (joined / crossed) samples.
 DERIVED_SAMPLE_CAP = DEFAULT_SAMPLE_SIZE
 
+#: Monotonic count of relations sampled since import.  The statistics
+#: catalog's whole point is that this stops moving once its entries are
+#: warm; tests and benchmarks assert on deltas of it.
+_SAMPLING_CALLS = 0
+
+
+def sampling_call_count() -> int:
+    """Number of relation-sampling passes performed so far (monotonic)."""
+    return _SAMPLING_CALLS
+
+
+def _record_sampling() -> None:
+    global _SAMPLING_CALLS
+    _SAMPLING_CALLS += 1
+
 
 def reservoir(
     rows: Iterable[Tuple[Any, ...]], capacity: int, seed: int = SAMPLE_SEED
@@ -153,8 +168,16 @@ class RelationSample:
         return self._histograms[attribute]
 
     def distinct_count(self, attribute: str) -> int:
-        """Estimated number of distinct values of ``attribute`` (at least 1)."""
-        return max(1, len(self.histogram(attribute)))
+        """Estimated number of distinct values of ``attribute`` (at least 1).
+
+        Empty samples, unknown attributes and all-placeholder columns all
+        report 1 rather than raising or returning 0 — a distinct count
+        feeds divisions in callers' estimates.
+        """
+        try:
+            return max(1, len(self.histogram(attribute)))
+        except KeyError:
+            return 1
 
     # -- derived samples --------------------------------------------------- #
 
@@ -284,6 +307,7 @@ def sample_database(
     for relation in database:
         if wanted is not None and relation.schema.name not in wanted:
             continue
+        _record_sampling()
         rows, population = reservoir(iter(relation), capacity, seed)
         samples[relation.schema.name] = RelationSample(
             relation.schema.name, relation.schema.attributes, rows, population
@@ -303,6 +327,7 @@ def sample_uwsdt(
     for relation_schema in uwsdt.schema:
         if wanted is not None and relation_schema.name not in wanted:
             continue
+        _record_sampling()
         rows, population = reservoir(
             (values for _, values in uwsdt.template_rows(relation_schema.name)),
             capacity,
@@ -335,6 +360,7 @@ def sample_wsd(
     for relation_schema in wsd.schema:
         if wanted is not None and relation_schema.name not in wanted:
             continue
+        _record_sampling()
         tuple_ids = wsd.tuple_ids.get(relation_schema.name, [])
         sampled_ids, population = reservoir(((tid,) for tid in tuple_ids), capacity, seed)
         rows: List[Tuple[Any, ...]] = []

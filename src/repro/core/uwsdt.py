@@ -58,6 +58,10 @@ class UWSDT:
         self.components: Dict[int, Component] = {}
         #: Which component defines which placeholder field (the ``F`` relation).
         self.field_to_cid: Dict[FieldRef, int] = {}
+        #: Incrementally maintained ``relation -> placeholder field count``
+        #: (the per-relation cardinality of ``F``); kept in sync by the
+        #: component mutators below, read by :meth:`relation_placeholder_count`.
+        self._placeholder_counts: Dict[str, int] = {}
         self._next_cid = 1
         #: Version-validated cache of template hash indexes (Section 5's
         #: "employing indices" on the fixed UWSDT schema).
@@ -92,6 +96,29 @@ class UWSDT:
             )
         self.templates[relation_name].insert((tuple_id,) + tuple(values))
 
+    def relation_placeholder_count(self, relation_name: str) -> int:
+        """Number of ``?`` fields of one relation (its slice of ``F``).
+
+        Together with the template relation's version this fully determines
+        the relation's planner statistics — samples read only the template,
+        densities only this count — so the statistics catalog uses the pair
+        as its invalidation key: component surgery that merely rewires or
+        extends components (the chase, ``Q̂`` intermediates) leaves cached
+        entries valid, while anything adding or dropping a placeholder of
+        the relation invalidates them.  Maintained incrementally — O(1).
+        """
+        return self._placeholder_counts.get(relation_name, 0)
+
+    def _map_field(self, field: FieldRef, cid: int) -> None:
+        self.field_to_cid[field] = cid
+        self._placeholder_counts[field.relation] = (
+            self._placeholder_counts.get(field.relation, 0) + 1
+        )
+
+    def _unmap_field(self, field: FieldRef) -> None:
+        if self.field_to_cid.pop(field, None) is not None:
+            self._placeholder_counts[field.relation] -= 1
+
     def new_component(self, component: Component) -> int:
         """Register a component and return its component id."""
         cid = self._next_cid
@@ -102,14 +129,14 @@ class UWSDT:
                 raise RepresentationError(
                     f"field {field.label()} already assigned to component {self.field_to_cid[field]}"
                 )
-            self.field_to_cid[field] = cid
+            self._map_field(field, cid)
         return cid
 
     def replace_component(self, cid: int, component: Component) -> None:
         """Replace the component stored under ``cid`` (fields must be unchanged or extended)."""
         old = self.components[cid]
         for field in old.fields:
-            self.field_to_cid.pop(field, None)
+            self._unmap_field(field)
         self.components[cid] = component
         for field in component.fields:
             existing = self.field_to_cid.get(field)
@@ -117,12 +144,12 @@ class UWSDT:
                 raise RepresentationError(
                     f"field {field.label()} already assigned to component {existing}"
                 )
-            self.field_to_cid[field] = cid
+            self._map_field(field, cid)
 
     def remove_component(self, cid: int) -> None:
         component = self.components.pop(cid)
         for field in component.fields:
-            self.field_to_cid.pop(field, None)
+            self._unmap_field(field)
 
     def component_of(self, field: FieldRef) -> Optional[int]:
         """Component id defining ``field`` (None for certain template fields)."""
@@ -359,6 +386,7 @@ class UWSDT:
                 component.fields, component.rows, component.probabilities
             )
         result.field_to_cid = dict(self.field_to_cid)
+        result._placeholder_counts = dict(self._placeholder_counts)
         result._next_cid = self._next_cid
         return result
 

@@ -49,6 +49,7 @@ class WSD:
         }
         self.components: List[Component] = list(components)
         self._field_owner: Dict[FieldRef, int] = {}
+        self._revision = 0
         self._rebuild_field_index()
         self._check_coverage()
 
@@ -57,6 +58,11 @@ class WSD:
     # ------------------------------------------------------------------ #
 
     def _rebuild_field_index(self) -> None:
+        # Every component-surgery path (replace_component(s), drop_relation,
+        # the in-place rewrites in wsd_ops) rebuilds this index, so the bump
+        # here is what version-keys cached statistics (see
+        # repro.core.planner.catalog).
+        self._revision += 1
         self._field_owner = {}
         for index, component in enumerate(self.components):
             for field in component.fields:
@@ -95,6 +101,17 @@ class WSD:
     def component_for(self, field: FieldRef) -> Component:
         """The component defining ``field``."""
         return self.components[self.component_of(field)]
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter over the component structure.
+
+        Bumped whenever components are replaced, merged, extended or a
+        relation is added/dropped — any change that could alter which
+        fields are certain or what values they take.  Cached statistics
+        (samples resolve fields *through* components) key on it.
+        """
+        return self._revision
 
     @property
     def is_probabilistic(self) -> bool:
@@ -203,6 +220,7 @@ class WSD:
         """
         self.schema.add(relation_schema)
         self.tuple_ids[relation_schema.name] = list(tuple_ids)
+        self._revision += 1
 
     # ------------------------------------------------------------------ #
     # Semantics: rep()

@@ -23,7 +23,9 @@ class Database:
         The relations of the database.  Relation names must be unique.
     """
 
-    __slots__ = ("_relations",)
+    # ``_statistics_catalog`` is the planner's lazily attached per-engine
+    # statistics cache (see repro.core.planner.catalog.catalog_for).
+    __slots__ = ("_relations", "_statistics_catalog")
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: Dict[str, Relation] = {}

@@ -32,13 +32,14 @@ class Relation:
         schema order) or a mapping from attribute name to value.
     """
 
-    __slots__ = ("schema", "_rows", "_row_set", "_version")
+    __slots__ = ("schema", "_rows", "_row_set", "_version", "_watchers")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Any] = ()) -> None:
         self.schema = schema
         self._rows: List[Row] = []
         self._row_set: set = set()
         self._version = 0
+        self._watchers: List[Any] = []
         for row in rows:
             self.insert(row)
 
@@ -94,6 +95,8 @@ class Relation:
         self._row_set.add(values)
         self._rows.append(values)
         self._version += 1
+        if self._watchers:
+            self._notify()
         return True
 
     def insert_many(self, rows: Iterable[Any]) -> int:
@@ -108,7 +111,36 @@ class Relation:
         self._row_set.discard(values)
         self._rows.remove(values)
         self._version += 1
+        if self._watchers:
+            self._notify()
         return True
+
+    # ------------------------------------------------------------------ #
+    # Mutation watchers (eager cache invalidation)
+    # ------------------------------------------------------------------ #
+
+    def watch(self, callback: Any) -> Any:
+        """Register ``callback(relation)`` to fire on every effective mutation.
+
+        Version polling already lets caches *detect* staleness; watchers let
+        them drop stale entries eagerly instead (see
+        :class:`~repro.core.planner.catalog.StatisticsCatalog`).  Watchers
+        are not copied by :meth:`copy`.  Returns the callback for symmetry
+        with :meth:`unwatch`.
+        """
+        self._watchers.append(callback)
+        return callback
+
+    def unwatch(self, callback: Any) -> None:
+        """Deregister a watcher (no-op if it was never registered)."""
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        for callback in tuple(self._watchers):
+            callback(self)
 
     # ------------------------------------------------------------------ #
     # Access

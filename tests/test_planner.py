@@ -6,14 +6,19 @@ from repro.core import UWSDT, WSD
 from repro.core.algebra import BaseRelation, Join, Product, Project, Rename, Select
 from repro.core.planner import (
     CostEstimate,
+    FIXED_SELECTIVITY_FLOOR,
     Plan,
+    RelationSample,
     RewriteContext,
     Statistics,
     estimate,
+    floored_predicate_selectivity,
+    join_selectivity,
     output_attributes,
     plan,
     predicate_selectivity,
     rewrite,
+    selection_selectivity,
 )
 from repro.relational import (
     And,
@@ -192,6 +197,71 @@ class TestCostModel:
         wsd_stats = Statistics.from_wsd(WSD.from_orset_relation(orset))
         assert wsd_stats.row_count("R") == 2
         assert 0.0 < wsd_stats.placeholder_density("R") < 1.0
+
+
+class TestSamplingGuards:
+    """Degenerate samples must fall back or floor — never divide by zero or
+    report selectivity 0.0 (which would zero out whole plan costs)."""
+
+    def test_empty_sample_falls_back_to_constants(self):
+        empty = RelationSample("R", ("A", "B"), [], 0)
+        assert empty.selectivity(eq("A", 1)) is None
+        assert empty.distinct_count("A") == 1
+        assert empty.filter(eq("A", 1)) is empty
+        other = RelationSample("S", ("C",), [(1,)], 1)
+        assert join_selectivity(empty, "A", other, "C") is None
+        assert join_selectivity(other, "C", empty, "A") is None
+
+    def test_unknown_attribute_distinct_count(self):
+        sample = RelationSample("R", ("A",), [(1,)], 1)
+        assert sample.distinct_count("NOPE") == 1
+
+    def test_all_placeholder_column_join_falls_back(self):
+        from repro.relational.values import PLACEHOLDER
+
+        left = RelationSample("R", ("A",), [(PLACEHOLDER,), (PLACEHOLDER,)], 2)
+        right = RelationSample("S", ("B",), [(1,), (2,)], 2)
+        assert left.distinct_count("A") == 1
+        assert join_selectivity(left, "A", right, "B") is None
+        assert left.equijoin(right, "A", "B") is None
+
+    def test_zero_overlap_join_selectivity_is_floored(self):
+        left = RelationSample("R", ("A",), [(1,), (2,)], 2)
+        right = RelationSample("S", ("B",), [(8,), (9,)], 2)
+        selectivity = join_selectivity(left, "A", right, "B")
+        assert selectivity is not None and selectivity > 0
+
+    def test_zero_match_sample_selectivity_is_floored(self):
+        sample = RelationSample("R", ("A",), [(1,), (2,), (3,)], 3)
+        selectivity = sample.selectivity(eq("A", 99))
+        assert selectivity is not None and 0 < selectivity < 1
+
+    def test_impossible_fixed_predicate_is_floored(self):
+        from repro.relational import Not
+
+        impossible = Not(TruePredicate())
+        assert predicate_selectivity(impossible) == 0.0  # the pure function
+        assert floored_predicate_selectivity(impossible) == FIXED_SELECTIVITY_FLOOR
+        assert selection_selectivity(impossible, None) == FIXED_SELECTIVITY_FLOOR
+
+    def test_impossible_selection_does_not_zero_plan_costs(self):
+        from repro.relational import Not
+
+        query = (
+            BaseRelation("R")
+            .select(Not(TruePredicate()))
+            .product(BaseRelation("S"))
+        )
+        result = estimate(query, STATS)
+        assert result.rows > 0
+        assert result.cost > 0
+
+    def test_empty_relation_plans_without_error(self):
+        database = Database([Relation(RelationSchema("R", ("A", "B")))])
+        query = BaseRelation("R").select(eq("A", 1)).project(["B"])
+        built = query.plan(database)
+        assert built.cost_after.cost >= 0
+        assert built.statistics.row_count("R") == 0
 
 
 class TestPlanObject:

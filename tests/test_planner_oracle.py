@@ -19,7 +19,14 @@ Three oracle depths are exercised:
   contains multi-template components, not just tuple-independent or-sets;
 * *confidence* — per-tuple confidences computed natively on the result
   representation must equal the exact tuple frequency over the enumerated
-  worlds.
+  worlds;
+* *union/difference-heavy shapes* — set-algebra trees (∪/− over selection
+  chains, optionally joined across relations), planned twice against the
+  same engine so the second plan runs entirely on the statistics catalog's
+  cached samples — proving cached statistics never change results;
+* *greedy fallback fuzz* — >8-relation product chains, where the enumerator
+  abandons the subset DP for the greedy cheapest-pair heuristic, checked
+  end to end against brute force (again with a warm catalog).
 
 This is the strongest correctness statement the planner can make: every
 rewrite rule, every cost-model decision, every join order and every index
@@ -42,6 +49,7 @@ from repro.core.chase import (
     chase_wsd,
 )
 from repro.core.confidence import confidence, uwsdt_possible_with_confidence
+from repro.core.planner import GREEDY_THRESHOLD, sampling_call_count
 from repro.relational import And, AttrAttr, AttrConst, InconsistentWorldSetError, Or
 from repro.worlds import OrSet, OrSetRelation
 
@@ -354,6 +362,187 @@ class TestCorrelatedComponentOracle:
         cleaned = naive.clean(base_wsd.rep(), [dependency])
         reference = naive.evaluate_query(cleaned, query, "P")
         assert_engines_match_reference(reference, chased_uwsdt, chased_wsd, query)
+
+
+@st.composite
+def set_heavy_trees(draw, max_set_depth=2):
+    """Union/difference-heavy query shapes.
+
+    A set-algebra tree (∪/− over selection chains, all over one relation so
+    the operands stay union-compatible), optionally topped by a selection
+    and optionally combined with a second relation's set tree through a
+    join or product — the ROADMAP's "difference/union-heavy shapes".
+    """
+
+    def set_tree(name, attrs, depth):
+        if depth == 0:
+            return _schema_preserving(draw, name, attrs)
+        left = set_tree(name, attrs, depth - 1)
+        right = set_tree(name, attrs, depth - 1)
+        if draw(st.sampled_from(["union", "difference", "union"])) == "union":
+            return left.union(right)
+        return left.difference(right)
+
+    name = draw(st.sampled_from(sorted(ORACLE_ATTRS)))
+    attrs = ORACLE_ATTRS[name]
+    depth = draw(st.integers(min_value=1, max_value=max_set_depth))
+    query = set_tree(name, attrs, depth)
+    if draw(st.booleans()):
+        query = query.select(draw(predicates(attrs)))
+    if draw(st.booleans()):
+        other_name = draw(st.sampled_from(sorted(set(ORACLE_ATTRS) - {name})))
+        other_attrs = ORACLE_ATTRS[other_name]
+        other = set_tree(other_name, other_attrs, draw(st.integers(min_value=0, max_value=1)))
+        if draw(st.booleans()):
+            query = query.join(
+                other,
+                draw(st.sampled_from(sorted(attrs))),
+                draw(st.sampled_from(sorted(other_attrs))),
+            )
+        else:
+            query = query.product(other)
+    return query
+
+
+def assert_warm_catalog_plans_match_reference(reference, uwsdt, wsd, query):
+    """Plan twice against the same engine — the second plan must be served
+    entirely by the statistics catalog (zero sampling) and choose the same
+    tree — then execute it and compare against brute force."""
+    planned = uwsdt.copy()
+    first = query.plan(planned)
+    calls_before = sampling_call_count()
+    second = query.plan(planned)
+    assert sampling_call_count() == calls_before, "warm replanning re-sampled"
+    assert repr(second.chosen) == repr(first.chosen)
+    query.run(planned, "P", plan=second)
+    planned.validate()
+    assert_same_result_distribution(planned.rep(), reference, "P")
+
+    wsd_copy = wsd.copy()
+    query.plan(wsd_copy)
+    calls_before = sampling_call_count()
+    rebuilt = query.plan(wsd_copy)
+    assert sampling_call_count() == calls_before
+    query.run(wsd_copy, "P", plan=rebuilt)
+    assert_same_result_distribution(wsd_copy.rep(), reference, "P")
+
+
+class TestUnionDifferenceOracle:
+    """ROADMAP's difference/union-heavy shapes, with the catalog enabled."""
+
+    @given(
+        budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=4),
+        set_heavy_trees(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_set_heavy_shapes_match_brute_force(self, relations, query):
+        base_wsd = WSD.from_orset_relations(relations)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+        assert_warm_catalog_plans_match_reference(
+            reference,
+            UWSDT.from_orset_relations(relations),
+            WSD.from_orset_relations(relations),
+            query,
+        )
+
+    def test_difference_of_unions_deterministic(self):
+        """(σR ∪ R) − σR over an uncertain relation, all three engines."""
+        relation = OrSetRelation.from_dicts(
+            "R",
+            ["A0", "A1", "A2"],
+            [
+                {"A0": 1, "A1": OrSet([2, 3]), "A2": 0},
+                {"A0": 0, "A1": 4, "A2": OrSet([0, 1])},
+            ],
+        )
+        others = [
+            OrSetRelation.from_dicts("S", ["B0", "B1", "B2"], [{"B0": 1, "B1": 2, "B2": 3}]),
+            OrSetRelation.from_dicts("T", ["C0", "C1", "C2"], [{"C0": 0, "C1": 2, "C2": 4}]),
+        ]
+        query = (
+            BaseRelation("R")
+            .select(AttrConst("A0", "=", 1))
+            .union(BaseRelation("R"))
+            .difference(BaseRelation("R").select(AttrConst("A1", ">=", 3)))
+        )
+        check = [relation] + others
+        base_wsd = WSD.from_orset_relations(check)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+        assert_warm_catalog_plans_match_reference(
+            reference,
+            UWSDT.from_orset_relations(check),
+            WSD.from_orset_relations(check),
+            query,
+        )
+
+
+#: Schemas for the greedy-fallback fuzz: one more relation than the DP limit.
+GREEDY_SCHEMAS = tuple(
+    (f"G{i}", (f"G{i}a", f"G{i}b")) for i in range(GREEDY_THRESHOLD + 1)
+)
+
+
+@st.composite
+def greedy_chain_cases(draw):
+    """A (GREEDY_THRESHOLD+1)-way product chain with consecutive equality
+    predicates — the join-order enumerator must take the greedy fallback."""
+    relations = draw(
+        budgeted_orset_relations(GREEDY_SCHEMAS, max_rows=2, uncertain_budget=2)
+    )
+    query = BaseRelation(GREEDY_SCHEMAS[0][0])
+    for name, _ in GREEDY_SCHEMAS[1:]:
+        query = query.product(BaseRelation(name))
+    predicates_ = [
+        AttrAttr(
+            f"G{i - 1}{draw(st.sampled_from('ab'))}",
+            "=",
+            f"G{i}{draw(st.sampled_from('ab'))}",
+        )
+        for i in range(1, len(GREEDY_SCHEMAS))
+    ]
+    return relations, query.select(And(*predicates_))
+
+
+class TestGreedyFallbackFuzz:
+    """End-to-end fuzz of the >8-relation greedy join fallback (catalog on)."""
+
+    @given(greedy_chain_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_greedy_planned_matches_brute_force(self, case):
+        relations, query = case
+        assert len(query.base_relations()) > GREEDY_THRESHOLD
+        base_wsd = WSD.from_orset_relations(relations)
+        reference = naive.evaluate_query(base_wsd.rep(), query, "P")
+
+        uwsdt = UWSDT.from_orset_relations(relations)
+        first = query.plan(uwsdt)
+        calls_before = sampling_call_count()
+        second = query.plan(uwsdt)
+        assert sampling_call_count() == calls_before
+        assert repr(second.chosen) == repr(first.chosen)
+        query.run(uwsdt, "P", plan=second)
+        uwsdt.validate()
+        assert_same_result_distribution(uwsdt.rep(), reference, "P")
+
+    @given(greedy_chain_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_greedy_planned_matches_unplanned_on_database(self, case):
+        """The certain worlds of the same inputs through the classical engine."""
+        from repro.relational import Database, Relation
+        from repro.worlds.orset import is_or_set
+
+        relations, query = case
+        certain = Database(
+            Relation(
+                orset.schema,
+                [row for row in orset.rows if not any(is_or_set(v) for v in row)],
+            )
+            for orset in relations
+        )
+        planned = query.run(certain, "planned", optimize=True)
+        written = query.run(certain, "written", optimize=False)
+        assert planned.schema.attributes == written.schema.attributes
+        assert planned.row_set() == written.row_set()
 
 
 class TestConfidenceOracle:
