@@ -19,7 +19,7 @@ import pytest
 from repro.bench import census_instance, density_label
 from repro.census import CENSUS_QUERIES, q5_product_form, q6_self_join_product_form
 from repro.census.queries import q_four_way_join
-from repro.core.algebra import evaluate_on_database, evaluate_on_uwsdt
+from repro.core.algebra import BaseRelation, evaluate_on_database, evaluate_on_uwsdt
 from repro.core.planner import Statistics, describe_join_order, plan, sampling_call_count
 
 from _bench_config import base_rows
@@ -134,6 +134,122 @@ def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
 # --------------------------------------------------------------------------- #
 # Statistics catalog: repeated planning against an unchanged engine
 # --------------------------------------------------------------------------- #
+
+
+# --------------------------------------------------------------------------- #
+# Physical execution: metrics-enabled runs, hash vs index-nested-loop joins
+# --------------------------------------------------------------------------- #
+
+
+def _join_cardinality_info(metrics):
+    return [
+        {
+            "operator": record.label,
+            "estimated_rows": record.estimated_rows,
+            "actual_rows": record.rows_out,
+            "q_error": record.cardinality_error,
+            "seconds": record.seconds,
+        }
+        for record in metrics.join_records()
+    ]
+
+
+@pytest.mark.parametrize(
+    "density", PLANNER_DENSITIES, ids=[density_label(d) for d in PLANNER_DENSITIES]
+)
+def test_metrics_enabled_four_way_join(benchmark, density):
+    """The 4-way join with per-operator metrics at ``REPRO_BENCH_ROWS`` scale.
+
+    Records, per join operator, the planner's estimated output cardinality
+    against the actual one — the estimated-vs-actual q-error trajectory
+    accumulates in the benchmark JSON alongside the timings.
+    """
+    from repro.core.planner import Statistics
+
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    query = q_four_way_join()
+
+    def engine_copy():
+        if density == 0.0:
+            return instance.one_world_database()
+        return _chased(rows, density).copy()
+
+    warm = engine_copy()
+    built_plan = plan(
+        query,
+        Statistics.from_database(warm) if density == 0.0 else Statistics.from_uwsdt(warm),
+    )
+
+    def run():
+        return query.run(engine_copy(), "result", plan=built_plan, collect_metrics=True)
+
+    result = benchmark(run)
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["join_cardinalities"] = _join_cardinality_info(result.metrics)
+    benchmark.extra_info["physical_operators"] = [
+        record.operator for record in result.metrics.records
+    ]
+
+
+@pytest.mark.parametrize(
+    "density", PLANNER_DENSITIES, ids=[density_label(d) for d in PLANNER_DENSITIES]
+)
+def test_index_join_probe(benchmark, density):
+    """A selective materialized side probing the bare census scan.
+
+    The selective Q3 answers are materialized as a stored relation, then
+    joined back against the full census relation on ``POWSTATE`` — the
+    canonical small-outer/large-inner shape.  The cost model must select an
+    ``IndexNestedLoopJoin`` over a ``HashJoin`` here (asserted via the
+    physical plan), and the benchmark records the forced wall time of both
+    algorithms so their gap is tracked at ``REPRO_BENCH_ROWS`` scale.
+    """
+    import time
+
+    from repro.census.queries import CENSUS_RELATION, q3
+
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    materialize = (
+        q3()
+        .rename("POWSTATE", "P3")
+        .rename("MARITAL", "M3")
+        .rename("FERTIL", "F3")
+    )
+    probe = BaseRelation("__q3mat").join(BaseRelation(CENSUS_RELATION), "P3", "POWSTATE")
+
+    def engine_copy():
+        if density == 0.0:
+            database = instance.one_world_database()
+            database.add(materialize.run(database, "__q3mat", optimize=False))
+            return database
+        working = _chased(rows, density).copy()
+        materialize.run(working, "__q3mat", optimize=False)
+        return working
+
+    chosen = probe.physical_plan(engine_copy())
+    assert chosen.uses("IndexNestedLoopJoin"), chosen.explain()
+
+    def run():
+        return probe.run(engine_copy(), "result", collect_metrics=True)
+
+    result = benchmark(run)
+    assert result.physical.uses("IndexNestedLoopJoin")
+
+    forced_seconds = {}
+    for algorithm in ("hash", "index-nested-loop"):
+        engine = engine_copy()
+        start = time.perf_counter()
+        probe.run(engine, "result", force_join=algorithm)
+        forced_seconds[algorithm] = time.perf_counter() - start
+
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["join_cardinalities"] = _join_cardinality_info(result.metrics)
+    benchmark.extra_info["hash_join_seconds"] = forced_seconds["hash"]
+    benchmark.extra_info["index_join_seconds"] = forced_seconds["index-nested-loop"]
 
 
 @pytest.mark.parametrize(

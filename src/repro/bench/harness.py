@@ -444,6 +444,69 @@ def run_repeated_planning_experiment(
 
 
 # --------------------------------------------------------------------------- #
+# Self-tuning feedback: fold executed-operator timings back into the profile
+# --------------------------------------------------------------------------- #
+
+
+def run_feedback_experiment(
+    sizes: Sequence[int] = (1_000, 2_000),
+    densities: Sequence[float] = (0.0, 0.001),
+    query_factory: Optional[Callable[[], Query]] = None,
+    alpha: float = 0.5,
+    seed: int = 42,
+) -> List[Dict[str, Any]]:
+    """One self-tuning iteration per (size, density) on the repeated-planning
+    benchmark query.
+
+    Each record reports the cost model's estimated-vs-observed time error
+    before and after folding the run's execution metrics into the constants
+    (:func:`repro.core.exec.feedback.fold_metrics`) — the error must not
+    increase, and on a mis-calibrated profile it visibly drops.  Metrics are
+    also folded into the engine's statistics catalog (actual-cardinality
+    feedback), whose observation count is reported.
+    """
+    from ..core.exec import cost_model_error, fold_metrics
+    from ..core.planner import CostModel
+    from ..core.planner.catalog import catalog_for
+
+    factory = query_factory or q_four_way_join
+    records: List[Dict[str, Any]] = []
+    for density in densities:
+        for rows in sizes:
+            instance = census_instance(rows, density, seed)
+            engine: Any
+            if density == 0.0:
+                engine = instance.one_world_database()
+            else:
+                engine = instance.chased()
+            query = factory()
+            result = query.run(engine, "result", collect_metrics=True)
+            metrics = result.metrics
+            model = CostModel.for_engine(metrics.engine)
+            error_before = cost_model_error(metrics, model)
+            tuned = fold_metrics(metrics, model, alpha=alpha)
+            error_after = cost_model_error(metrics, tuned)
+            records.append(
+                {
+                    "experiment": "feedback",
+                    "engine": metrics.engine,
+                    "rows": rows,
+                    "density": density,
+                    "density_label": density_label(density),
+                    "operators": len(metrics.records),
+                    "execution_seconds": metrics.total_seconds,
+                    "cost_error_before": error_before,
+                    "cost_error_after": error_after,
+                    "max_cardinality_q_error": metrics.max_cardinality_error(),
+                    "observed_cardinalities": len(
+                        catalog_for(engine).observed_cardinalities
+                    ),
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
 # Cost-constant calibration (microbenchmark-fitted CostModels)
 # --------------------------------------------------------------------------- #
 

@@ -10,6 +10,7 @@ from . import uwsdt_ops, wsd_ops
 from .query import (
     BaseRelation,
     Difference,
+    Intersection,
     Join,
     Product,
     Project,
@@ -27,6 +28,7 @@ __all__ = [
     "wsd_ops",
     "BaseRelation",
     "Difference",
+    "Intersection",
     "Join",
     "Product",
     "Project",

@@ -52,6 +52,9 @@ class Query:
     def difference(self, other: "Query") -> "Difference":
         return Difference(self, other)
 
+    def intersection(self, other: "Query") -> "Intersection":
+        return Intersection(self, other)
+
     def rename(self, old: str, new: str) -> "Rename":
         return Rename(self, old, new)
 
@@ -77,6 +80,8 @@ class Query:
             return Union(children[0], children[1])
         if isinstance(self, Difference):
             return Difference(children[0], children[1])
+        if isinstance(self, Intersection):
+            return Intersection(children[0], children[1])
         if isinstance(self, Join):
             return Join(children[0], children[1], self.left_attr, self.right_attr)
         raise TypeError(f"cannot rebuild {self!r}")
@@ -89,6 +94,24 @@ class Query:
                 if name not in names:
                     names.append(name)
         return names
+
+    # -- rendering --------------------------------------------------------- #
+
+    def node_label(self) -> str:
+        """This operator alone, in σ/π/⋈ notation (no children)."""
+        raise NotImplementedError
+
+    def to_text(self, indent: str = "") -> str:
+        """Multi-line indented rendering of the query tree.
+
+        ``__repr__`` is the compact one-line algebra expression; this is the
+        two-dimensional form used by ``Plan.explain()`` and error messages,
+        where deep trees are unreadable on a single line.
+        """
+        lines = [indent + self.node_label()]
+        for child in self.children():
+            lines.append(child.to_text(indent + "  "))
+        return "\n".join(lines)
 
     # -- planned evaluation ------------------------------------------------ #
 
@@ -111,7 +134,41 @@ class Query:
             )
         return build_plan(self, statistics)
 
-    def run(self, engine, result_name: str = "result", optimize: bool = True, plan=None):
+    def _lowered(self, engine, optimize: bool, plan, force_join=None):
+        """Resolve the executable tree and lower it for ``engine``'s backend."""
+        from ..exec import backend_for, lower
+        from ..planner import Statistics
+
+        backend = backend_for(engine)
+        if plan is None and optimize:
+            plan = self.plan(engine)
+        if plan is not None:
+            executable, statistics = plan.chosen, plan.statistics
+        else:
+            # Verbatim execution: no sampling, but the backend's cost model
+            # still drives structural physical choices.
+            executable, statistics = self, Statistics(engine=backend.kind)
+        return backend, lower(executable, backend, statistics, force_join=force_join)
+
+    def physical_plan(self, engine, optimize: bool = True, plan=None, force_join=None):
+        """The :class:`~repro.core.exec.PhysicalPlan` this query would run.
+
+        ``physical_plan(engine).explain()`` shows the chosen physical
+        operators (index scans, hash vs index-nested-loop joins) without
+        executing anything.
+        """
+        _, physical = self._lowered(engine, optimize, plan, force_join)
+        return physical
+
+    def run(
+        self,
+        engine,
+        result_name: str = "result",
+        optimize: bool = True,
+        plan=None,
+        collect_metrics: bool = False,
+        force_join=None,
+    ):
         """Evaluate this query on any of the three engines.
 
         * on a :class:`~repro.relational.database.Database` — returns the
@@ -121,30 +178,30 @@ class Query:
           result relation (the paper's ``Q̂`` convention).
 
         With ``optimize=True`` (the default) the query is first rewritten by
-        the logical planner (selection pushdown, join fusion, projection
-        pushdown, rename elimination) using statistics gathered from the
-        engine; pass a prebuilt ``plan`` to skip re-planning, or
-        ``optimize=False`` to execute this AST verbatim.
-        """
-        if not isinstance(engine, (Database, WSD, UWSDT)):
-            raise QueryError(
-                f"cannot evaluate a query on {type(engine).__name__}; "
-                "expected Database, WSD or UWSDT"
-            )
-        if plan is not None:
-            executable = plan.chosen
-        elif optimize:
-            executable = self.plan(engine).chosen
-        else:
-            executable = self
+        the logical planner (selection pushdown, join fusion, join-order
+        search, projection pushdown, rename elimination) using statistics
+        gathered from the engine; pass a prebuilt ``plan`` to skip
+        re-planning, or ``optimize=False`` to execute this AST verbatim.
 
-        if isinstance(engine, Database):
-            # A per-run pool: queries selecting the same base relation more
-            # than once (e.g. self-joins) probe a shared hash index.
-            return evaluate_on_database(executable, engine, result_name, IndexPool())
-        if isinstance(engine, UWSDT):
-            return evaluate_on_uwsdt(executable, engine, result_name)
-        return evaluate_on_wsd(executable, engine, result_name)
+        Either way the tree is lowered to a
+        :class:`~repro.core.exec.PhysicalPlan` and executed through the
+        engine's :class:`~repro.core.exec.EngineBackend` — engine-specific
+        dispatch lives entirely in :mod:`repro.core.exec`.  With
+        ``collect_metrics=True`` the return value is an
+        :class:`~repro.core.exec.ExecutionResult` bundling the result with
+        per-operator runtime metrics (also folded into the engine's
+        statistics catalog as actual-cardinality feedback); ``force_join``
+        overrides the hash-vs-index join choice for benchmarking.
+        """
+        backend, physical = self._lowered(engine, optimize, plan, force_join)
+        value = physical.execute(backend, result_name)
+        if collect_metrics:
+            from ..exec import ExecutionResult, record_into_catalog
+
+            metrics = physical.metrics()
+            record_into_catalog(engine, metrics)
+            return ExecutionResult(value, metrics, physical)
+        return value
 
 
 class BaseRelation(Query):
@@ -158,6 +215,9 @@ class BaseRelation(Query):
 
     def base_relations(self) -> List[str]:
         return [self.name]
+
+    def node_label(self) -> str:
+        return self.name
 
     def __repr__(self) -> str:
         return self.name
@@ -173,6 +233,9 @@ class Select(Query):
     def children(self) -> Tuple[Query, ...]:
         return (self.child,)
 
+    def node_label(self) -> str:
+        return f"σ[{self.predicate!r}]"
+
     def __repr__(self) -> str:
         return f"σ[{self.predicate!r}]({self.child!r})"
 
@@ -186,6 +249,9 @@ class Project(Query):
 
     def children(self) -> Tuple[Query, ...]:
         return (self.child,)
+
+    def node_label(self) -> str:
+        return f"π[{', '.join(self.attributes)}]"
 
     def __repr__(self) -> str:
         return f"π[{', '.join(self.attributes)}]({self.child!r})"
@@ -201,6 +267,9 @@ class Product(Query):
     def children(self) -> Tuple[Query, ...]:
         return (self.left, self.right)
 
+    def node_label(self) -> str:
+        return "×"
+
     def __repr__(self) -> str:
         return f"({self.left!r} × {self.right!r})"
 
@@ -214,6 +283,9 @@ class Union(Query):
 
     def children(self) -> Tuple[Query, ...]:
         return (self.left, self.right)
+
+    def node_label(self) -> str:
+        return "∪"
 
     def __repr__(self) -> str:
         return f"({self.left!r} ∪ {self.right!r})"
@@ -229,8 +301,37 @@ class Difference(Query):
     def children(self) -> Tuple[Query, ...]:
         return (self.left, self.right)
 
+    def node_label(self) -> str:
+        return "−"
+
     def __repr__(self) -> str:
         return f"({self.left!r} − {self.right!r})"
+
+
+class Intersection(Query):
+    """Intersection ∩ (derived: ``A ∩ B = A − (A − B)``).
+
+    The Database engine evaluates it natively; the representation engines
+    evaluate the difference expansion, which is world-by-world equivalent
+    and therefore correct on WSDs/UWSDTs by Theorem 1.
+    """
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def expanded(self) -> Difference:
+        """The ``A − (A − B)`` form the representation engines evaluate."""
+        return Difference(self.left, Difference(self.left, self.right))
+
+    def node_label(self) -> str:
+        return "∩"
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
 
 
 class Rename(Query):
@@ -243,6 +344,9 @@ class Rename(Query):
 
     def children(self) -> Tuple[Query, ...]:
         return (self.child,)
+
+    def node_label(self) -> str:
+        return f"δ[{self.old}→{self.new}]"
 
     def __repr__(self) -> str:
         return f"δ[{self.old}→{self.new}]({self.child!r})"
@@ -259,6 +363,9 @@ class Join(Query):
 
     def children(self) -> Tuple[Query, ...]:
         return (self.left, self.right)
+
+    def node_label(self) -> str:
+        return f"⋈[{self.left_attr}={self.right_attr}]"
 
     def __repr__(self) -> str:
         return f"({self.left!r} ⋈[{self.left_attr}={self.right_attr}] {self.right!r})"
@@ -313,6 +420,10 @@ def _evaluate_db(query: Query, database: Database, pool: Optional[IndexPool] = N
         )
     if isinstance(query, Difference):
         return relational_algebra.difference(
+            _evaluate_db(query.left, database, pool), _evaluate_db(query.right, database, pool)
+        )
+    if isinstance(query, Intersection):
+        return relational_algebra.intersection(
             _evaluate_db(query.left, database, pool), _evaluate_db(query.right, database, pool)
         )
     if isinstance(query, Rename):
@@ -402,6 +513,8 @@ def _evaluate_wsd(query: Query, wsd: WSD, names: Iterator[str], result_name: Opt
         target = fresh()
         wsd_ops.difference(wsd, left, right, target)
         return target
+    if isinstance(query, Intersection):
+        return _evaluate_wsd(query.expanded(), wsd, names, result_name)
     if isinstance(query, Rename):
         child = _evaluate_wsd(query.child, wsd, names, None)
         target = fresh()
@@ -480,6 +593,8 @@ def _evaluate_uwsdt(
         target = fresh()
         uwsdt_ops.difference(uwsdt, left, right, target)
         return target
+    if isinstance(query, Intersection):
+        return _evaluate_uwsdt(query.expanded(), uwsdt, names, result_name)
     if isinstance(query, Rename):
         child = _evaluate_uwsdt(query.child, uwsdt, names, None)
         target = fresh()

@@ -408,6 +408,7 @@ def equi_join(
     left_attr: str,
     right_attr: str,
     target: str,
+    use_template_index: bool = False,
 ) -> None:
     """Equi-join ``T := R ⋈_{A=B} S`` on a UWSDT.
 
@@ -417,6 +418,13 @@ def equi_join(
     resulting tuple's presence is conditioned on the join values agreeing —
     the composition the paper describes for selections with condition
     ``A θ B``.
+
+    With ``use_template_index=True`` (the executor's index nested-loop
+    join), the right side must be a stored relation: instead of scanning
+    its template to build an ephemeral hash table, each certain left value
+    probes the engine's cached ``template_index`` — the "employing indices"
+    tuning of Section 5.  Placeholder right rows are found under the ``?``
+    key of the same index.
     """
     left_schema = uwsdt.schema.relation(left)
     right_schema = uwsdt.schema.relation(right)
@@ -426,21 +434,48 @@ def equi_join(
     uwsdt.add_relation(RelationSchema(target, target_schema.attributes))
 
     left_rows = list(uwsdt.template_rows(left))
-    right_rows = list(uwsdt.template_rows(right))
     right_position = right_schema.position(right_attr)
     left_position = left_schema.position(left_attr)
 
+    right_tid_position = uwsdt.templates[right].schema.position(TID)
+
+    def without_tid(row: Tuple[Any, ...]) -> Tuple[Any, Tuple[Any, ...]]:
+        return (
+            row[right_tid_position],
+            row[:right_tid_position] + row[right_tid_position + 1:],
+        )
+
+    def right_candidates(right_tid: Any) -> Set[Any]:
+        field = FieldRef(right, right_tid, right_attr)
+        component = uwsdt.components[uwsdt.component_of(field)]
+        return {v for v in component.column(field) if v is not BOTTOM}
+
+    template_index = None
     certain_index: Dict[Any, List[Tuple[Any, Tuple[Any, ...]]]] = {}
     uncertain_right: List[Tuple[Any, Tuple[Any, ...], Set[Any]]] = []
-    for right_tid, right_values in right_rows:
-        join_value = right_values[right_position]
-        if is_placeholder(join_value):
-            field = FieldRef(right, right_tid, right_attr)
-            component = uwsdt.components[uwsdt.component_of(field)]
-            candidates = {v for v in component.column(field) if v is not BOTTOM}
-            uncertain_right.append((right_tid, right_values, candidates))
-        else:
-            certain_index.setdefault(join_value, []).append((right_tid, right_values))
+    if use_template_index:
+        template_index = uwsdt.template_index(right, right_attr)
+        for row in template_index.lookup(PLACEHOLDER):
+            right_tid, right_values = without_tid(row)
+            uncertain_right.append((right_tid, right_values, right_candidates(right_tid)))
+    else:
+        for right_tid, right_values in uwsdt.template_rows(right):
+            join_value = right_values[right_position]
+            if is_placeholder(join_value):
+                uncertain_right.append(
+                    (right_tid, right_values, right_candidates(right_tid))
+                )
+            else:
+                certain_index.setdefault(join_value, []).append((right_tid, right_values))
+
+    def probe_certain(value: Any) -> List[Tuple[Any, Tuple[Any, ...]]]:
+        if template_index is not None:
+            try:
+                hash(value)
+            except TypeError:
+                return []
+            return [without_tid(row) for row in template_index.lookup(value)]
+        return certain_index.get(value, [])
 
     def emit(
         left_tid: Any,
@@ -506,7 +541,7 @@ def equi_join(
     for left_tid, left_values in left_rows:
         left_join_value = left_values[left_position]
         if not is_placeholder(left_join_value):
-            for right_tid, right_values in certain_index.get(left_join_value, ()):
+            for right_tid, right_values in probe_certain(left_join_value):
                 emit(left_tid, left_values, right_tid, right_values, must_check=False)
             for right_tid, right_values, candidates in uncertain_right:
                 if left_join_value in candidates:
@@ -517,7 +552,7 @@ def equi_join(
             left_candidates = {v for v in component.column(field) if v is not BOTTOM}
             matched_right: Set[Any] = set()
             for value in left_candidates:
-                for right_tid, right_values in certain_index.get(value, ()):
+                for right_tid, right_values in probe_certain(value):
                     if right_tid in matched_right:
                         continue
                     matched_right.add(right_tid)

@@ -1,0 +1,6 @@
+"""``python -m repro.core.exec``: one self-tuning feedback iteration."""
+
+from .feedback import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -422,6 +422,9 @@ def fit_cost_model(
         emit_tuple=constant("emit_tuple", reference.emit_tuple),
         join_build=join_constant,
         join_probe=join_constant,
+        # Not microbenchmarked here; kept at the reference ratio and refined
+        # at runtime by the executor's feedback loop (repro.core.exec.feedback).
+        index_probe=reference.index_probe,
         difference_pair=constant("difference_pair", reference.difference_pair),
         source="calibrated",
     )

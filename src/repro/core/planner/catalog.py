@@ -95,6 +95,12 @@ class StatisticsCatalog:
         #: Cache telemetry (reads that reused / rebuilt an entry).
         self.hits = 0
         self.misses = 0
+        #: Actual-cardinality feedback from the executor
+        #: (:func:`repro.core.exec.feedback.record_into_catalog`):
+        #: operator label -> (EWMA of observed output rows, last estimate,
+        #: observation count).  Future planner iterations can consult it to
+        #: correct repeat-offender selectivity estimates.
+        self.observed_cardinalities: Dict[str, Tuple[float, float, int]] = {}
         if isinstance(engine, Database):
             self.kind = "database"
         elif isinstance(engine, UWSDT):
@@ -197,6 +203,23 @@ class StatisticsCatalog:
 
         anchor.watch(invalidate)
         self._watchers[name] = (anchor, invalidate)
+
+    def record_actual(
+        self, label: str, estimated_rows: float, actual_rows: int, alpha: float = 0.5
+    ) -> None:
+        """Record one executed operator's estimated-vs-actual cardinality.
+
+        Keyed by the operator's physical label; repeated observations blend
+        through an exponentially weighted moving average.
+        """
+        previous = self.observed_cardinalities.get(label)
+        if previous is None:
+            ewma = float(actual_rows)
+            count = 1
+        else:
+            ewma = (1.0 - alpha) * previous[0] + alpha * float(actual_rows)
+            count = previous[2] + 1
+        self.observed_cardinalities[label] = (ewma, float(estimated_rows), count)
 
     def invalidate(self, name: Optional[str] = None) -> None:
         """Drop one relation's entry (or all of them when ``name`` is None)."""

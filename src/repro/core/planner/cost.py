@@ -39,6 +39,7 @@ from ...relational.predicates import And, AttrAttr, AttrConst, Not, Or, Predicat
 from ..algebra.query import (
     BaseRelation,
     Difference,
+    Intersection,
     Join,
     Product,
     Project,
@@ -98,6 +99,11 @@ class CostModel:
     emit_tuple: float = 1.0
     join_build: float = 1.0
     join_probe: float = 1.0
+    #: Per-outer-tuple cost of probing a prebuilt (cached) hash index in an
+    #: index nested-loop join.  Dearer than ``join_probe`` — each probe is an
+    #: individual index lookup rather than a bulk build-then-stream pass —
+    #: but the inner side pays nothing, so small-outer/large-inner joins win.
+    index_probe: float = 3.0
     difference_pair: float = 1.0
     #: ``"hand-tuned"`` for the built-in defaults, ``"calibrated"`` for
     #: constants fitted by :mod:`~repro.core.planner.calibrate`.
@@ -112,6 +118,7 @@ class CostModel:
         "emit_tuple",
         "join_build",
         "join_probe",
+        "index_probe",
         "difference_pair",
     )
 
@@ -159,6 +166,7 @@ DATABASE_COST = CostModel(
     emit_tuple=1.0,
     join_build=1.0,
     join_probe=1.0,
+    index_probe=2.5,
     difference_pair=0.8,
 )
 
@@ -183,6 +191,7 @@ UWSDT_COST = CostModel(
     emit_tuple=2.5,
     join_build=1.0,
     join_probe=1.0,
+    index_probe=2.5,
     difference_pair=15.0,
 )
 
@@ -546,7 +555,7 @@ def output_attributes(query: Query, statistics: Statistics) -> Optional[Tuple[st
         if left is None or right is None:
             return None
         return left + right
-    if isinstance(query, (Union, Difference)):
+    if isinstance(query, (Union, Difference, Intersection)):
         return output_attributes(query.left, statistics)
     raise TypeError(f"cannot infer attributes of {query!r}")
 
@@ -604,6 +613,30 @@ def join_step(
     return out, cost
 
 
+def index_join_step(
+    outer_rows: float,
+    inner_rows: float,
+    selectivity: float,
+    out_arity: int,
+    model: CostModel,
+) -> Tuple[float, float]:
+    """``(output rows, added cost)`` of an index nested-loop equi-join.
+
+    The outer side probes a prebuilt hash index over the inner *base*
+    relation (the :class:`~repro.relational.indexes.IndexPool` index on a
+    Database, ``UWSDT.template_index`` on a UWSDT — both cached on the
+    engine, so the inner side contributes no per-query build cost).
+    """
+    out = outer_rows * inner_rows * selectivity
+    cost = outer_rows * model.index_probe + out * arity_width(out_arity) * model.emit_tuple
+    return out, cost
+
+
+#: Engines whose backends can execute an index nested-loop join (the WSD
+#: operators resolve fields through components, so there is no index to probe).
+INDEX_JOIN_ENGINES = ("database", "uwsdt")
+
+
 def product_step(
     left_rows: float, right_rows: float, out_arity: int, model: CostModel
 ) -> Tuple[float, float]:
@@ -650,7 +683,35 @@ def estimate(
     return _estimate(query, statistics, model).as_cost_estimate()
 
 
-def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEstimate:
+def _estimate(
+    query: Query,
+    statistics: Statistics,
+    model: CostModel,
+    memo: Optional[Dict[int, NodeEstimate]] = None,
+) -> NodeEstimate:
+    """Per-node estimate, optionally memoized by node identity.
+
+    The memo makes one top-level call record an estimate for *every* node of
+    the tree — the executor's lowering pass reads per-node cardinalities
+    from it in a single bottom-up traversal instead of re-estimating each
+    subtree (which would be quadratic in the sample work).
+    """
+    if memo is not None:
+        cached = memo.get(id(query))
+        if cached is not None:
+            return cached
+    result = _estimate_uncached(query, statistics, model, memo)
+    if memo is not None:
+        memo[id(query)] = result
+    return result
+
+
+def _estimate_uncached(
+    query: Query,
+    statistics: Statistics,
+    model: CostModel,
+    memo: Optional[Dict[int, NodeEstimate]] = None,
+) -> NodeEstimate:
     if isinstance(query, BaseRelation):
         return NodeEstimate(
             rows=float(statistics.row_count(query.name)),
@@ -659,13 +720,13 @@ def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEst
             density=statistics.placeholder_density(query.name),
         )
     if isinstance(query, Select):
-        child = _estimate(query.child, statistics, model)
+        child = _estimate(query.child, statistics, model, memo)
         selectivity = selection_selectivity(query.predicate, child.sample)
         rows, added = select_step(child.rows, selectivity, child.density, model)
         sample = child.sample.filter(query.predicate) if child.sample is not None else None
         return NodeEstimate(rows, child.cost + added, sample, child.density)
     if isinstance(query, Project):
-        child = _estimate(query.child, statistics, model)
+        child = _estimate(query.child, statistics, model, memo)
         attributes = output_attributes(query.child, statistics)
         in_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
         sample = child.sample.project(query.attributes) if child.sample is not None else None
@@ -676,14 +737,14 @@ def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEst
             child.density,
         )
     if isinstance(query, Rename):
-        child = _estimate(query.child, statistics, model)
+        child = _estimate(query.child, statistics, model, memo)
         sample = child.sample.rename(query.old, query.new) if child.sample is not None else None
         return NodeEstimate(
             child.rows, child.cost + child.rows * model.rename_tuple, sample, child.density
         )
     if isinstance(query, Product):
-        left = _estimate(query.left, statistics, model)
-        right = _estimate(query.right, statistics, model)
+        left = _estimate(query.left, statistics, model, memo)
+        right = _estimate(query.right, statistics, model, memo)
         attributes = output_attributes(query, statistics)
         out_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
         rows, added = product_step(left.rows, right.rows, out_arity, model)
@@ -696,8 +757,8 @@ def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEst
             rows, left.cost + right.cost + added, sample, max(left.density, right.density)
         )
     if isinstance(query, Join):
-        left = _estimate(query.left, statistics, model)
-        right = _estimate(query.right, statistics, model)
+        left = _estimate(query.left, statistics, model, memo)
+        right = _estimate(query.right, statistics, model, memo)
         attributes = output_attributes(query, statistics)
         out_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
         selectivity = equality_join_selectivity(
@@ -713,8 +774,8 @@ def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEst
             rows, left.cost + right.cost + added, sample, max(left.density, right.density)
         )
     if isinstance(query, Union):
-        left = _estimate(query.left, statistics, model)
-        right = _estimate(query.right, statistics, model)
+        left = _estimate(query.left, statistics, model, memo)
+        right = _estimate(query.right, statistics, model, memo)
         out = left.rows + right.rows
         sample = None
         if (
@@ -735,14 +796,27 @@ def _estimate(query: Query, statistics: Statistics, model: CostModel) -> NodeEst
             max(left.density, right.density),
         )
     if isinstance(query, Difference):
-        left = _estimate(query.left, statistics, model)
-        right = _estimate(query.right, statistics, model)
+        left = _estimate(query.left, statistics, model, memo)
+        right = _estimate(query.right, statistics, model, memo)
         # On WSDs/UWSDTs difference composes components pairwise — by far the
         # paper's most expensive operator — so it is costed quadratically.
         return NodeEstimate(
             left.rows,
             left.cost + right.cost + left.rows * max(1.0, right.rows) * model.difference_pair,
             left.sample,
+            max(left.density, right.density),
+        )
+    if isinstance(query, Intersection):
+        left = _estimate(query.left, statistics, model, memo)
+        right = _estimate(query.right, statistics, model, memo)
+        # Evaluated natively on a Database, as A − (A − B) on the
+        # representation engines; either way the work is difference-like
+        # (pairwise on representations), and the output is bounded by the
+        # smaller side.
+        return NodeEstimate(
+            min(left.rows, right.rows),
+            left.cost + right.cost + left.rows * max(1.0, right.rows) * model.difference_pair,
+            None,
             max(left.density, right.density),
         )
     raise TypeError(f"cannot estimate cost of {query!r}")
@@ -757,3 +831,23 @@ def estimate_node(query: Query, statistics: Statistics, model: Optional[CostMode
     if model is None:
         model = statistics.cost_model()
     return _estimate(query, statistics, model)
+
+
+def estimate_forest(
+    query: Query,
+    statistics: Statistics,
+    model: Optional[CostModel] = None,
+    memo: Optional[Dict[int, NodeEstimate]] = None,
+) -> Dict[int, NodeEstimate]:
+    """Estimates for *every* node of ``query``, keyed by ``id(node)``.
+
+    One bottom-up pass fills the memo — the executor's lowering reads
+    per-node cardinalities from it instead of re-estimating each subtree.
+    Pass an existing ``memo`` to extend it with nodes of a further tree.
+    """
+    if model is None:
+        model = statistics.cost_model()
+    if memo is None:
+        memo = {}
+    _estimate(query, statistics, model, memo)
+    return memo

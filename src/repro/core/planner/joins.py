@@ -41,13 +41,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...relational.predicates import AttrAttr, Predicate, TruePredicate
-from ..algebra.query import Join, Product, Project, Query, Select
+from ..algebra.query import BaseRelation, Join, Product, Project, Query, Select
 from .cost import (
+    INDEX_JOIN_ENGINES,
     CostModel,
     Statistics,
     equality_join_selectivity,
     estimate_node,
     floored_predicate_selectivity,
+    index_join_step,
     join_step,
     product_step,
     select_step,
@@ -201,6 +203,15 @@ class _Costing:
     def __init__(self, graph: JoinGraph, statistics: Statistics) -> None:
         self.graph = graph
         self.model: CostModel = statistics.cost_model()
+        # Physical property of a leaf: a bare, unfiltered base relation on an
+        # index-capable engine can serve as the *inner* of an index
+        # nested-loop join (probing the engine's cached hash index), so the
+        # DP costs joins against such leaves as min(hash, index-nested-loop).
+        self.index_leaf_masks: set = set()
+        if statistics.engine in INDEX_JOIN_ENGINES:
+            for index, leaf in enumerate(graph.leaves):
+                if isinstance(leaf, BaseRelation) and not graph.filters[index]:
+                    self.index_leaf_masks.add(1 << index)
         self.leaf_states: List[PlanState] = []
         leaf_samples: List[Optional[RelationSample]] = []
         for index, leaf in enumerate(graph.leaves):
@@ -249,11 +260,29 @@ class _Costing:
                 left_attr, right_attr = attr_l, attr_r
             else:
                 left_attr, right_attr = attr_r, attr_l
-            rows, added = join_step(
-                left.rows, right.rows, self.selectivities[chosen.index],
-                len(attributes), self.model,
-            )
+            selectivity = self.selectivities[chosen.index]
+            out_arity = len(attributes)
+            rows, added = join_step(left.rows, right.rows, selectivity, out_arity, self.model)
             query: Query = Join(left.query, right.query, left_attr, right_attr)
+            # Physical alternatives: an index nested-loop join with the bare
+            # base-relation side as the inner (either orientation — output
+            # cardinality is identical, so subset estimates stay
+            # order-independent; a swap only reorders columns, which the
+            # final projection restores).
+            if right.mask in self.index_leaf_masks:
+                _, inlj_cost = index_join_step(
+                    left.rows, right.rows, selectivity, out_arity, self.model
+                )
+                if inlj_cost < added:
+                    added = inlj_cost
+            if left.mask in self.index_leaf_masks:
+                _, inlj_cost = index_join_step(
+                    right.rows, left.rows, selectivity, out_arity, self.model
+                )
+                if inlj_cost < added:
+                    added = inlj_cost
+                    query = Join(right.query, left.query, right_attr, left_attr)
+                    attributes = right.attributes + left.attributes
             remaining = [entry for entry in applicable if entry is not chosen]
             joined = True
         else:

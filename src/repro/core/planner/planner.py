@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..algebra.query import (
     BaseRelation,
     Difference,
+    Intersection,
     Join,
     Product,
     Project,
@@ -74,6 +75,8 @@ def describe_join_order(query: Query) -> Optional[str]:
             return f"({label(node.left)} ∪ {label(node.right)})"
         if isinstance(node, Difference):
             return f"({label(node.left)} − {label(node.right)})"
+        if isinstance(node, Intersection):
+            return f"({label(node.left)} ∩ {label(node.right)})"
         raise TypeError(f"cannot describe {node!r}")
 
     rendered = label(query)
@@ -168,6 +171,8 @@ class Plan:
         if order is not None:
             lines.append(f"join order: {order}")
         lines.append(f"chosen   : {'rewritten' if self.improved else 'original'}")
+        lines.append("chosen tree:")
+        lines.append(self.chosen.to_text("  "))
         if self.applications:
             lines.append("rewrites :")
             for application in self.applications:

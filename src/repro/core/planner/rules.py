@@ -38,6 +38,7 @@ from ...relational.predicates import (
 from ..algebra.query import (
     BaseRelation,
     Difference,
+    Intersection,
     Join,
     Product,
     Project,
@@ -155,6 +156,7 @@ class PushSelectDown(RewriteRule):
     * ``σ_p(L × R)`` / ``σ_p(L ⋈ R)`` — conjuncts referencing only one side
       move onto that side;
     * ``σ_p(L ∪ R) → σ_p(L) ∪ σ_p(R)``;
+    * ``σ_p(L ∩ R) → σ_p(L) ∩ σ_p(R)``;
     * ``σ_p(L − R) → σ_p(L) − R``  (a row survives − iff it is in L and not
       in R; the filter only constrains the left side);
     * ``σ_p(π_U(x)) → π_U(σ_p(x))``  (p references attributes of U only);
@@ -175,6 +177,8 @@ class PushSelectDown(RewriteRule):
             return Rename(Select(child.child, pushed), child.old, child.new)
         if isinstance(child, Union):
             return Union(Select(child.left, predicate), Select(child.right, predicate))
+        if isinstance(child, Intersection):
+            return Intersection(Select(child.left, predicate), Select(child.right, predicate))
         if isinstance(child, Difference):
             return Difference(Select(child.left, predicate), child.right)
         if isinstance(child, (Product, Join)):

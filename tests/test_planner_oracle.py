@@ -134,6 +134,7 @@ def _tree(draw, depth, counter, single_relation):
                 "rename",
                 "union",
                 "difference",
+                "intersection",
                 "product",
                 "join",
             ]
@@ -157,7 +158,7 @@ def _tree(draw, depth, counter, single_relation):
         if new in attrs:
             return child, attrs
         return child.rename(old, new), tuple(new if a == old else a for a in attrs)
-    if op in ("union", "difference"):
+    if op in ("union", "difference", "intersection"):
         if single_relation:
             name, attrs = "R", BASE_ATTRS
         else:
@@ -167,6 +168,8 @@ def _tree(draw, depth, counter, single_relation):
         right = _schema_preserving(draw, name, attrs)
         if op == "union":
             return left.union(right), attrs
+        if op == "intersection":
+            return left.intersection(right), attrs
         return left.difference(right), attrs
     # product / join: the right side is a fully renamed copy of a base
     # relation so the attribute sets are disjoint (the counter keeps nested
@@ -379,8 +382,11 @@ def set_heavy_trees(draw, max_set_depth=2):
             return _schema_preserving(draw, name, attrs)
         left = set_tree(name, attrs, depth - 1)
         right = set_tree(name, attrs, depth - 1)
-        if draw(st.sampled_from(["union", "difference", "union"])) == "union":
+        op = draw(st.sampled_from(["union", "difference", "intersection", "union"]))
+        if op == "union":
             return left.union(right)
+        if op == "intersection":
+            return left.intersection(right)
         return left.difference(right)
 
     name = draw(st.sampled_from(sorted(ORACLE_ATTRS)))
