@@ -113,6 +113,18 @@ class Query:
             lines.append(child.to_text(indent + "  "))
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Stable identity of this query's canonical text rendering.
+
+        Two structurally identical trees fingerprint identically, whatever
+        object identities built them — the plan-cache key of
+        :mod:`repro.service`.  Uses SHA-1 rather than ``hash()`` so the value
+        is stable across processes (``PYTHONHASHSEED``) and usable in logs.
+        """
+        import hashlib
+
+        return hashlib.sha1(self.to_text().encode("utf-8")).hexdigest()[:16]
+
     # -- planned evaluation ------------------------------------------------ #
 
     def plan(self, engine=None, statistics=None):
@@ -168,6 +180,7 @@ class Query:
         plan=None,
         collect_metrics: bool = False,
         force_join=None,
+        physical=None,
     ):
         """Evaluate this query on any of the three engines.
 
@@ -192,8 +205,19 @@ class Query:
         per-operator runtime metrics (also folded into the engine's
         statistics catalog as actual-cardinality feedback); ``force_join``
         overrides the hash-vs-index join choice for benchmarking.
+
+        Pass a previously lowered ``physical`` plan (for the same engine
+        kind) to skip planning *and* lowering entirely — the plan-cache hit
+        path of :mod:`repro.service`.  The caller is responsible for the
+        plan's freshness; a stale plan still computes the query it was
+        lowered from, just possibly sub-optimally.
         """
-        backend, physical = self._lowered(engine, optimize, plan, force_join)
+        if physical is not None:
+            from ..exec import backend_for
+
+            backend = backend_for(engine)
+        else:
+            backend, physical = self._lowered(engine, optimize, plan, force_join)
         value = physical.execute(backend, result_name)
         if collect_metrics:
             from ..exec import ExecutionResult, record_into_catalog

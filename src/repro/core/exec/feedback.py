@@ -230,7 +230,13 @@ def record_into_catalog(engine, metrics: ExecutionMetrics) -> None:
     for record in metrics.records:
         if record.estimated_rows is None:
             continue
-        catalog.record_actual(record.label, record.estimated_rows, record.rows_out)
+        catalog.record_actual(
+            record.label,
+            record.estimated_rows,
+            record.rows_out,
+            key=record.semantic_key,
+            relations=record.relations,
+        )
 
 
 # --------------------------------------------------------------------------- #

@@ -33,6 +33,14 @@ class OperatorMetrics:
     #: The planner's cardinality estimate for this operator's output, or
     #: None when the plan was lowered without statistics.
     estimated_rows: Optional[float] = None
+    #: Order-independent semantic key of the logical subtree this operator
+    #: was lowered from (:func:`~repro.core.planner.observed.cardinality_key`);
+    #: None for hand-built physical plans.  This is the key under which the
+    #: observation becomes *consumable* by later planning passes.
+    semantic_key: Optional[str] = None
+    #: Sorted base relations the subtree reads — the staleness scope of the
+    #: observation.
+    relations: Tuple[str, ...] = ()
 
     @property
     def cardinality_error(self) -> Optional[float]:
@@ -57,6 +65,10 @@ class ExecutionMetrics:
 
     engine: str
     records: List[OperatorMetrics] = field(default_factory=list)
+    #: Fingerprint of the query these metrics belong to, when executed
+    #: through the query service — lets feedback and telemetry attribute
+    #: observations to the cached plan that produced them.
+    fingerprint: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:

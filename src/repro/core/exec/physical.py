@@ -40,6 +40,13 @@ class PhysicalOperator:
         self.estimated_rows = estimated_rows
         #: Filled in by execution (None until the node has run).
         self.metrics: Optional[OperatorMetrics] = None
+        #: Semantic cardinality key of the logical subtree this operator was
+        #: lowered from, attached by :mod:`~repro.core.exec.lower` (None for
+        #: hand-built plans).  Execution stamps it onto the operator's
+        #: metrics so observations land in the planner-consumable store.
+        self.cardinality_key: Optional[str] = None
+        #: Sorted base relations the lowered subtree reads.
+        self.base_relation_names: Tuple[str, ...] = ()
 
     def label(self) -> str:
         """One-line rendering of this operator (no children)."""
@@ -367,6 +374,8 @@ class PhysicalPlan:
             arity_out=backend.arity(handle),
             seconds=seconds,
             estimated_rows=node.estimated_rows,
+            semantic_key=node.cardinality_key,
+            relations=node.base_relation_names,
         )
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,9 @@
 * :mod:`repro.core.planner.catalog`  — the per-engine statistics catalog:
   version-keyed caching of samples/row counts/densities, so repeated
   planning against an unchanged engine does zero sampling work.
+* :mod:`repro.core.planner.observed` — semantic cardinality keys and the
+  EWMA observation records through which executed-operator cardinalities
+  feed back into estimation (consumed by ``cost`` and ``joins``).
 * :mod:`repro.core.planner.calibrate` — microbenchmark-fitted cost
   constants, persisted as JSON profiles ``CostModel.for_engine`` loads.
 * :mod:`repro.core.planner.planner`  — the fixpoint driver and the
@@ -56,11 +59,18 @@ from .joins import (
     extract_join_graph,
     reorder_tree,
 )
+from .observed import (
+    OBSERVED_ALPHA,
+    OBSERVED_MIN_COUNT,
+    ObservedCardinality,
+    cardinality_key,
+)
 from .planner import (
     Plan,
     RuleApplication,
     describe_join_order,
     plan,
+    plan_call_count,
     plan_for_engine,
     rewrite,
 )
@@ -121,10 +131,15 @@ __all__ = [
     "enumerate_plan",
     "extract_join_graph",
     "reorder_tree",
+    "OBSERVED_ALPHA",
+    "OBSERVED_MIN_COUNT",
+    "ObservedCardinality",
+    "cardinality_key",
     "Plan",
     "RuleApplication",
     "describe_join_order",
     "plan",
+    "plan_call_count",
     "plan_for_engine",
     "rewrite",
     "DEFAULT_PHASES",

@@ -45,6 +45,7 @@ benchmarks assert directly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,6 +54,7 @@ from ...relational.relation import Relation
 from ..uwsdt import UWSDT
 from ..wsd import WSD
 from .cost import Statistics, uwsdt_relation_statistics, wsd_relation_statistics
+from .observed import OBSERVED_ALPHA, OBSERVED_MIN_COUNT, ObservedCardinality
 from .sampling import (
     DEFAULT_SAMPLE_SIZE,
     RelationSample,
@@ -89,18 +91,34 @@ class StatisticsCatalog:
             raise TypeError(f"cannot derive statistics from {type(engine).__name__}")
         self.engine = engine
         self.sample_size = sample_size
+        #: Reentrant so watcher callbacks that fire while the lock is held
+        #: (a mutation inside a locked catalog method) cannot deadlock, and
+        #: so public methods can compose without lock juggling.  Concurrent
+        #: sessions share one catalog per engine; every read of a shared
+        #: dict below happens under this lock.
+        self._lock = threading.RLock()
         self._entries: Dict[str, CatalogEntry] = {}
         #: Eager invalidation hooks: relation name -> (watched Relation, callback).
+        #: Invariant: a watcher is registered exactly while the relation has
+        #: (or had) an entry, and is released by :meth:`invalidate` — a
+        #: long-lived relation must not accumulate dead closures.
         self._watchers: Dict[str, Tuple[Relation, Callable]] = {}
         #: Cache telemetry (reads that reused / rebuilt an entry).
         self.hits = 0
         self.misses = 0
         #: Actual-cardinality feedback from the executor
         #: (:func:`repro.core.exec.feedback.record_into_catalog`):
-        #: operator label -> (EWMA of observed output rows, last estimate,
-        #: observation count).  Future planner iterations can consult it to
-        #: correct repeat-offender selectivity estimates.
+        #: operator label -> (EWMA of observed output rows, EWMA of the
+        #: estimate, observation count).  Kept label-keyed for telemetry and
+        #: back-compat; the planner consumes the *semantically keyed* store
+        #: below.
         self.observed_cardinalities: Dict[str, Tuple[float, float, int]] = {}
+        #: Planner-consumable feedback, keyed by
+        #: :func:`~repro.core.planner.observed.cardinality_key` so a future
+        #: planning pass can look an observation up whatever join order
+        #: produced it.  Entries carry base-relation version snapshots;
+        #: :meth:`observed_view` drops stale ones.
+        self._observed: Dict[str, ObservedCardinality] = {}
         if isinstance(engine, Database):
             self.kind = "database"
         elif isinstance(engine, UWSDT):
@@ -152,32 +170,40 @@ class StatisticsCatalog:
     def entry(self, name: str, sample_size: Optional[int] = None) -> Tuple[CatalogEntry, str]:
         """The (validated) entry for one relation, plus its provenance:
         ``"cached-sample"`` when reused, ``"fresh-sample"`` when rebuilt."""
-        size = self.sample_size if sample_size is None else sample_size
-        key, anchor = self._version_key(name)
-        cached = self._entries.get(name)
-        if (
-            cached is not None
-            and cached.anchor is anchor
-            and cached.key == key
-            and cached.sample_size == size
-        ):
-            self.hits += 1
-            return cached, "cached-sample"
-        self.misses += 1
-        row_count, density = self._row_count_and_density(name)
-        attributes = self._relation_attributes(name)
-        built = CatalogEntry(
-            key=key,
-            sample_size=size,
-            row_count=row_count,
-            density=density,
-            attributes=attributes,
-            sample=self._sample_one(name, size),
-            anchor=anchor,
-        )
-        self._entries[name] = built
-        self._watch(name, anchor)
-        return built, "fresh-sample"
+        with self._lock:
+            size = self.sample_size if sample_size is None else sample_size
+            key, anchor = self._version_key(name)
+            cached = self._entries.get(name)
+            if (
+                cached is not None
+                and cached.anchor is anchor
+                and cached.key == key
+                and cached.sample_size == size
+            ):
+                self.hits += 1
+                return cached, "cached-sample"
+            self.misses += 1
+            row_count, density = self._row_count_and_density(name)
+            attributes = self._relation_attributes(name)
+            built = CatalogEntry(
+                key=key,
+                sample_size=size,
+                row_count=row_count,
+                density=density,
+                attributes=attributes,
+                sample=self._sample_one(name, size),
+                anchor=anchor,
+            )
+            self._entries[name] = built
+            self._watch(name, anchor)
+            return built, "fresh-sample"
+
+    def version_key(self, name: str) -> Tuple[Any, ...]:
+        """The current version key of one relation — the token plan caches
+        snapshot per base relation and poll to validate cached plans."""
+        with self._lock:
+            key, _anchor = self._version_key(name)
+            return key
 
     def _relation_attributes(self, name: str) -> Tuple[str, ...]:
         if self.kind == "database":
@@ -199,34 +225,103 @@ class StatisticsCatalog:
             watched[0].unwatch(watched[1])
 
         def invalidate(_relation: Relation, name: str = name) -> None:
-            self._entries.pop(name, None)
+            with self._lock:
+                self._entries.pop(name, None)
 
         anchor.watch(invalidate)
         self._watchers[name] = (anchor, invalidate)
 
+    def _unwatch(self, name: str) -> None:
+        watched = self._watchers.pop(name, None)
+        if watched is not None:
+            watched[0].unwatch(watched[1])
+
     def record_actual(
-        self, label: str, estimated_rows: float, actual_rows: int, alpha: float = 0.5
+        self,
+        label: str,
+        estimated_rows: float,
+        actual_rows: int,
+        alpha: float = OBSERVED_ALPHA,
+        key: Optional[str] = None,
+        relations: Sequence[str] = (),
     ) -> None:
         """Record one executed operator's estimated-vs-actual cardinality.
 
-        Keyed by the operator's physical label; repeated observations blend
-        through an exponentially weighted moving average.
+        The label-keyed telemetry store blends *both* sides through the same
+        EWMA — estimate and actual must age identically, or error metrics
+        compare a fresh estimate against a stale actual average.  When the
+        caller supplies the operator's semantic ``key`` (and the base
+        ``relations`` the subtree reads), the observation additionally lands
+        in the planner-consumable store with a version snapshot of those
+        relations, so staleness is detectable at lookup time.
         """
-        previous = self.observed_cardinalities.get(label)
-        if previous is None:
-            ewma = float(actual_rows)
-            count = 1
-        else:
-            ewma = (1.0 - alpha) * previous[0] + alpha * float(actual_rows)
-            count = previous[2] + 1
-        self.observed_cardinalities[label] = (ewma, float(estimated_rows), count)
+        with self._lock:
+            previous = self.observed_cardinalities.get(label)
+            if previous is None:
+                ewma = float(actual_rows)
+                estimate_ewma = float(estimated_rows)
+                count = 1
+            else:
+                ewma = (1.0 - alpha) * previous[0] + alpha * float(actual_rows)
+                estimate_ewma = (1.0 - alpha) * previous[1] + alpha * float(estimated_rows)
+                count = previous[2] + 1
+            self.observed_cardinalities[label] = (ewma, estimate_ewma, count)
+            if key is None:
+                return
+            known = set(self.relation_names())
+            names = tuple(sorted(r for r in relations if r in known))
+            try:
+                versions = tuple(self._version_key(r)[0] for r in names)
+            except KeyError:
+                return  # a base relation vanished mid-record: skip the keyed store
+            record = self._observed.get(key)
+            if record is None or record.relations != names:
+                self._observed[key] = ObservedCardinality(
+                    float(actual_rows), float(estimated_rows), 1, names, versions
+                )
+            else:
+                self._observed[key] = record.blend(
+                    float(estimated_rows), float(actual_rows), alpha, versions
+                )
+
+    def observed_view(self, min_count: int = OBSERVED_MIN_COUNT) -> Dict[str, ObservedCardinality]:
+        """Semantically keyed observations that are still trustworthy.
+
+        Filters out entries observed fewer than ``min_count`` times and
+        entries whose base relations have mutated since recording (dropping
+        the stale ones from the store as a side effect).  The result is what
+        :class:`~repro.core.planner.cost.Statistics` carries into planning.
+        """
+        with self._lock:
+            live: Dict[str, ObservedCardinality] = {}
+            stale: List[str] = []
+            for key, record in self._observed.items():
+                try:
+                    current = tuple(self._version_key(r)[0] for r in record.relations)
+                except KeyError:
+                    stale.append(key)
+                    continue
+                if current != record.versions:
+                    stale.append(key)
+                    continue
+                if record.count >= min_count:
+                    live[key] = record
+            for key in stale:
+                del self._observed[key]
+            return live
 
     def invalidate(self, name: Optional[str] = None) -> None:
-        """Drop one relation's entry (or all of them when ``name`` is None)."""
-        if name is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(name, None)
+        """Drop one relation's entry (or all of them when ``name`` is None),
+        releasing its mutation watcher — an always-on process must not leave
+        dead closures on long-lived relations."""
+        with self._lock:
+            if name is None:
+                for watched_name in list(self._watchers):
+                    self._unwatch(watched_name)
+                self._entries.clear()
+            else:
+                self._unwatch(name)
+                self._entries.pop(name, None)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -249,43 +344,45 @@ class StatisticsCatalog:
         ``Statistics.from_*`` constructors did.  Warm entries are served
         without any sampling work.
         """
-        size = self.sample_size if sample_size is None else sample_size
-        known = self.relation_names()
-        if relations is None:
-            wanted: Iterable[str] = known
-        else:
-            present = set(known)
-            wanted = set(name for name in relations if name in present)
-        row_counts: Dict[str, int] = {}
-        densities: Dict[str, float] = {}
-        attributes: Dict[str, Tuple[str, ...]] = {}
-        samples: Dict[str, RelationSample] = {}
-        provenance: Dict[str, str] = {}
-        for name in known:
-            if name in wanted:
-                entry, source = self.entry(name, size)
-                row_counts[name] = entry.row_count
-                densities[name] = entry.density
-                attributes[name] = entry.attributes
-                if entry.sample is not None:
-                    samples[name] = entry.sample
-                    provenance[name] = source
-                else:
-                    provenance[name] = "fixed-constants"
+        with self._lock:
+            size = self.sample_size if sample_size is None else sample_size
+            known = self.relation_names()
+            if relations is None:
+                wanted: Iterable[str] = known
             else:
-                # Outside the sampling restriction: cheap metadata only.
-                row_counts[name], densities[name] = self._row_count_and_density(name)
-                attributes[name] = self._relation_attributes(name)
-                provenance[name] = "fixed-constants"
-        return Statistics(
-            row_counts,
-            densities,
-            attributes,
-            samples,
-            engine=self.kind,
-            sample_provenance=provenance,
-            source="catalog",
-        )
+                present = set(known)
+                wanted = set(name for name in relations if name in present)
+            row_counts: Dict[str, int] = {}
+            densities: Dict[str, float] = {}
+            attributes: Dict[str, Tuple[str, ...]] = {}
+            samples: Dict[str, RelationSample] = {}
+            provenance: Dict[str, str] = {}
+            for name in known:
+                if name in wanted:
+                    entry, source = self.entry(name, size)
+                    row_counts[name] = entry.row_count
+                    densities[name] = entry.density
+                    attributes[name] = entry.attributes
+                    if entry.sample is not None:
+                        samples[name] = entry.sample
+                        provenance[name] = source
+                    else:
+                        provenance[name] = "fixed-constants"
+                else:
+                    # Outside the sampling restriction: cheap metadata only.
+                    row_counts[name], densities[name] = self._row_count_and_density(name)
+                    attributes[name] = self._relation_attributes(name)
+                    provenance[name] = "fixed-constants"
+            return Statistics(
+                row_counts,
+                densities,
+                attributes,
+                samples,
+                engine=self.kind,
+                sample_provenance=provenance,
+                source="catalog",
+                observed=self.observed_view(),
+            )
 
     def __repr__(self) -> str:
         return (

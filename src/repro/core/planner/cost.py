@@ -48,6 +48,7 @@ from ..algebra.query import (
     Select,
     Union,
 )
+from .observed import ObservedCardinality, cardinality_key
 from .sampling import (
     DEFAULT_SAMPLE_SIZE,
     RelationSample,
@@ -334,6 +335,7 @@ class Statistics:
         engine: str = "generic",
         sample_provenance: Optional[Mapping[str, str]] = None,
         source: str = "adhoc",
+        observed: Optional[Mapping[str, ObservedCardinality]] = None,
     ) -> None:
         self.row_counts: Dict[str, int] = dict(row_counts or {})
         self.placeholder_densities: Dict[str, float] = dict(placeholder_densities or {})
@@ -353,10 +355,25 @@ class Statistics:
         if sample_provenance is None:
             sample_provenance = {name: "fresh-sample" for name in self.samples}
         self.sample_provenance: Dict[str, str] = dict(sample_provenance)
+        #: Executed-operator cardinality feedback, keyed by
+        #: :func:`~repro.core.planner.observed.cardinality_key` and already
+        #: filtered for observation count and staleness by
+        #: :meth:`~repro.core.planner.catalog.StatisticsCatalog.observed_view`.
+        #: When a subtree's key is present, its observed EWMA overrides the
+        #: sampled estimate — runtime truth beats a 256-row sample.
+        self.observed: Dict[str, ObservedCardinality] = dict(observed or {})
+        #: Cheap guard: estimation only computes cardinality keys when at
+        #: least one observation exists, so cold planning pays nothing.
+        self.has_observed = bool(self.observed)
 
     def provenance(self, relation_name: str) -> str:
         """How this relation's estimates are derived (for ``explain()``)."""
         return self.sample_provenance.get(relation_name, "fixed-constants")
+
+    def observed_rows(self, key: str) -> Optional[float]:
+        """Observed output-cardinality EWMA for a keyed subtree, if any."""
+        record = self.observed.get(key)
+        return None if record is None else record.actual_rows
 
     # -- constructors ------------------------------------------------------ #
 
@@ -413,7 +430,7 @@ class Statistics:
     def from_engine(
         cls,
         engine: Any,
-        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        sample_size: Optional[int] = None,
         sample_relations: Optional[Tuple[str, ...]] = None,
     ) -> "Statistics":
         """Statistics for a live engine, served from its statistics catalog.
@@ -426,12 +443,20 @@ class Statistics:
         ``sample_relations`` restricts row sampling to the named relations —
         planning passes the query's base relations, so relations a query
         never touches are not scanned (their row counts, densities and
-        attributes are still reported).  Use ``from_database`` /
+        attributes are still reported).  ``sample_size=None`` (the default)
+        defers to the attached catalog's configured size, so an engine set
+        up with ``catalog_for(engine, sample_size=...)`` keeps that choice
+        across every ``Query.plan``/``Query.run``.  Use ``from_database`` /
         ``from_wsd`` / ``from_uwsdt`` to force fresh, uncached sampling.
         """
         from .catalog import catalog_for
 
-        return catalog_for(engine, sample_size).statistics(sample_relations, sample_size)
+        catalog = (
+            catalog_for(engine)
+            if sample_size is None
+            else catalog_for(engine, sample_size)
+        )
+        return catalog.statistics(sample_relations, sample_size)
 
     # -- lookups ----------------------------------------------------------- #
 
@@ -650,6 +675,30 @@ def project_step(rows: float, in_arity: int, model: CostModel) -> float:
     return rows * arity_width(in_arity) * model.project_tuple
 
 
+def observed_override(
+    query: Query,
+    statistics: Statistics,
+    rows: float,
+    added: float,
+    out_arity: Optional[int],
+    model: CostModel,
+) -> Tuple[float, float]:
+    """Replace an estimated output cardinality with its observed EWMA.
+
+    Only the *emit* component of an operator's cost scales with output rows,
+    so that term is repriced by the delta (when ``out_arity`` is given);
+    build/probe/scan components depend on the inputs alone and stand.
+    Shared by the recursive estimator and the join-order enumerator so both
+    see the same corrected numbers for the same subtree.
+    """
+    observed = statistics.observed_rows(cardinality_key(query))
+    if observed is None:
+        return rows, added
+    if out_arity is not None:
+        added += (observed - rows) * arity_width(out_arity) * model.emit_tuple
+    return observed, added
+
+
 # --------------------------------------------------------------------------- #
 # The recursive estimator
 # --------------------------------------------------------------------------- #
@@ -723,6 +772,9 @@ def _estimate_uncached(
         child = _estimate(query.child, statistics, model, memo)
         selectivity = selection_selectivity(query.predicate, child.sample)
         rows, added = select_step(child.rows, selectivity, child.density, model)
+        if statistics.has_observed:
+            # Selection cost is per *input* tuple; only the cardinality moves.
+            rows, added = observed_override(query, statistics, rows, added, None, model)
         sample = child.sample.filter(query.predicate) if child.sample is not None else None
         return NodeEstimate(rows, child.cost + added, sample, child.density)
     if isinstance(query, Project):
@@ -748,6 +800,8 @@ def _estimate_uncached(
         attributes = output_attributes(query, statistics)
         out_arity = len(attributes) if attributes is not None else DEFAULT_ARITY
         rows, added = product_step(left.rows, right.rows, out_arity, model)
+        if statistics.has_observed:
+            rows, added = observed_override(query, statistics, rows, added, out_arity, model)
         sample = (
             left.sample.cross(right.sample)
             if left.sample is not None and right.sample is not None
@@ -765,6 +819,8 @@ def _estimate_uncached(
             left.sample, query.left_attr, right.sample, query.right_attr
         )
         rows, added = join_step(left.rows, right.rows, selectivity, out_arity, model)
+        if statistics.has_observed:
+            rows, added = observed_override(query, statistics, rows, added, out_arity, model)
         sample = (
             left.sample.equijoin(right.sample, query.left_attr, query.right_attr)
             if left.sample is not None and right.sample is not None

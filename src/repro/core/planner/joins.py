@@ -51,6 +51,7 @@ from .cost import (
     floored_predicate_selectivity,
     index_join_step,
     join_step,
+    observed_override,
     product_step,
     select_step,
 )
@@ -202,6 +203,7 @@ class _Costing:
 
     def __init__(self, graph: JoinGraph, statistics: Statistics) -> None:
         self.graph = graph
+        self.statistics = statistics
         self.model: CostModel = statistics.cost_model()
         # Physical property of a leaf: a bare, unfiltered base relation on an
         # index-capable engine can serve as the *inner* of an index
@@ -286,11 +288,20 @@ class _Costing:
             remaining = [entry for entry in applicable if entry is not chosen]
             joined = True
         else:
-            rows, added = product_step(left.rows, right.rows, len(attributes), self.model)
+            out_arity = len(attributes)
+            rows, added = product_step(left.rows, right.rows, out_arity, self.model)
             query = Product(left.query, right.query)
             remaining = applicable
             joined = False
 
+        if self.statistics.has_observed:
+            # Executed-cardinality feedback: the subtree's semantic key is
+            # order-independent, so the override keeps the Selinger "one
+            # cardinality per subset" discipline intact while replacing the
+            # sampled guess with runtime truth.
+            rows, added = observed_override(
+                query, self.statistics, rows, added, out_arity, self.model
+            )
         cost += added
         if remaining:
             selectivity = 1.0
@@ -301,6 +312,8 @@ class _Costing:
             rows, select_cost = select_step(rows, selectivity, 0.0, self.model)
             cost += select_cost
             query = Select(query, conjunction([entry.predicate for entry in remaining]))
+            if self.statistics.has_observed:
+                rows, _ = observed_override(query, self.statistics, rows, 0.0, None, self.model)
 
         return PlanState(mask, query, attributes, rows, cost, joined)
 

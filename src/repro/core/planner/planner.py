@@ -33,6 +33,16 @@ from .rules import DEFAULT_PHASES, RewriteContext, RewriteRule
 #: almost certainly oscillating; the bound turns that into a stable result).
 MAX_PASSES_PER_PHASE = 25
 
+#: Monotonic count of :func:`plan` invocations — the companion probe to
+#: :func:`~repro.core.planner.sampling.sampling_call_count`, letting tests
+#: assert that a plan-cache hit skipped the rewrite/DP pipeline entirely.
+_PLAN_CALLS = 0
+
+
+def plan_call_count() -> int:
+    """Number of full planning passes performed so far in this process."""
+    return _PLAN_CALLS
+
 
 @dataclass(frozen=True)
 class RuleApplication:
@@ -267,6 +277,8 @@ def plan(
     phases: Sequence[Tuple[str, Sequence[RewriteRule]]] = DEFAULT_PHASES,
 ) -> Plan:
     """Plan ``query``: rewrite, cost both trees, pick the cheaper one."""
+    global _PLAN_CALLS
+    _PLAN_CALLS += 1
     statistics = statistics or Statistics()
     context = RewriteContext(statistics)
     trace: List[RuleApplication] = []

@@ -26,8 +26,10 @@ class Database:
     # ``_statistics_catalog`` is the planner's lazily attached per-engine
     # statistics cache (see repro.core.planner.catalog.catalog_for);
     # ``_index_pool`` is the executor's persistent hash-index pool
-    # (see repro.core.exec.backends.index_pool_for).
-    __slots__ = ("_relations", "_statistics_catalog", "_index_pool")
+    # (see repro.core.exec.backends.index_pool_for); ``_plan_cache`` is the
+    # query service's fingerprinted plan cache
+    # (see repro.service.plan_cache.plan_cache_for).
+    __slots__ = ("_relations", "_statistics_catalog", "_index_pool", "_plan_cache")
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: Dict[str, Relation] = {}

@@ -13,6 +13,7 @@ range scans.
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .relation import Relation, Row
@@ -67,31 +68,40 @@ class IndexPool:
     selections over the same base relation probe a shared index instead of
     rescanning it.  Keys use ``id(relation)`` — the pool must therefore keep
     a reference to the relation, which it does via the stored index.
+
+    One pool is shared per engine, so concurrent sessions can race on the
+    cache dict; a lock makes check-then-build atomic.  (Two sessions racing
+    the build would each get a *correct* index either way — the lock mainly
+    prevents dict corruption and duplicated build work.)
     """
 
-    __slots__ = ("_cache",)
+    __slots__ = ("_cache", "_lock")
 
     def __init__(self) -> None:
         self._cache: Dict[Tuple[int, Tuple[str, ...]], Tuple[int, HashIndex]] = {}
+        self._lock = threading.RLock()
 
     def hash_index(self, relation: Relation, attributes: Sequence[str]) -> HashIndex:
         """Return a (cached) hash index over ``attributes`` of ``relation``."""
-        key = (id(relation), tuple(attributes))
-        entry = self._cache.get(key)
-        if entry is not None and entry[0] == relation.version and entry[1].relation is relation:
-            return entry[1]
-        index = HashIndex(relation, attributes)
-        self._cache[key] = (relation.version, index)
-        return index
+        with self._lock:
+            key = (id(relation), tuple(attributes))
+            entry = self._cache.get(key)
+            if entry is not None and entry[0] == relation.version and entry[1].relation is relation:
+                return entry[1]
+            index = HashIndex(relation, attributes)
+            self._cache[key] = (relation.version, index)
+            return index
 
     def invalidate(self, relation: Relation) -> None:
         """Drop all cached indexes of one relation."""
-        stale = [key for key in self._cache if key[0] == id(relation)]
-        for key in stale:
-            del self._cache[key]
+        with self._lock:
+            stale = [key for key in self._cache if key[0] == id(relation)]
+            for key in stale:
+                del self._cache[key]
 
     def clear(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -1,0 +1,58 @@
+"""CLI entry point: ``python -m repro.service`` runs the traffic benchmark.
+
+``--smoke`` shrinks the workload to CI sizes; the JSON report is written to
+``--output`` and uploaded as a CI artifact next to the BENCH / COST_PROFILE
+/ TRAJECTORY uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+from .benchmark import run_traffic_benchmark
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent-traffic benchmark of the repro query service "
+        "(latency percentiles + plan-cache hit rate)."
+    )
+    parser.add_argument("--output", default="SERVICE_smoke.json")
+    parser.add_argument("--rows", type=int, default=2_000)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25, help="requests per client")
+    parser.add_argument("--smoke", action="store_true", help="tiny CI sizes")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows, clients, requests = 600, 3, 12
+    else:
+        rows, clients, requests = args.rows, args.clients, args.requests
+
+    report = run_traffic_benchmark(
+        rows=rows, clients=clients, requests_per_client=requests
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+
+    latency = report["latency_seconds"]
+    print(f"requests        : {report['requests']}")
+    print(f"cache hit rate  : {report['cache']['hit_rate']:.0%}")
+    if latency["cold_p50"] is not None:
+        print(f"cold p50        : {latency['cold_p50'] * 1e3:.3f} ms")
+    for key in ("warm_p50", "warm_p95", "warm_p99"):
+        if latency[key] is not None:
+            print(f"{key:<16}: {latency[key] * 1e3:.3f} ms")
+    if report["warm_speedup"] is not None:
+        print(f"warm speedup    : {report['warm_speedup']:.1f}x")
+    print(f"report written  : {args.output}")
+
+    # The cache must actually serve repeated traffic; a zero hit rate means
+    # the service is broken, and CI should say so.
+    return 0 if report["cache"]["hit_rate"] > 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

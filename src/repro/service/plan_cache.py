@@ -1,0 +1,144 @@
+"""Fingerprinted plan cache with version-key validation.
+
+A :class:`PlanCache` memoizes the full planning pipeline per engine: logical
+rewrite, join-order DP, and lowering.  Entries are keyed by the query's
+:meth:`~repro.core.algebra.query.Query.fingerprint` (a stable hash of the
+canonical ``to_text()`` rendering) and validated by the *catalog version
+keys* of every base relation the query touches — the exact per-engine
+tokens :class:`~repro.core.planner.catalog.StatisticsCatalog` already uses
+to invalidate statistics (``Relation.version`` on a Database, template
+version + placeholder count on a UWSDT, ``WSD.revision`` on a WSD).
+
+Validation is by *polling* at lookup time: a hit compares each stored
+version key against the relation's current one, so any mutation of any
+touched base relation invalidates exactly the entries that read it — no
+more (untouched queries keep their plans) and no less (a stale plan is
+never served).  Polling costs a few integer comparisons per base relation,
+and it composes with every mutation path for free: classical inserts,
+template inserts, component surgery, the chase — anything that moves the
+version key.
+
+Note the WSD caveat: ``WSD.revision`` bumps on *every* relation addition,
+including the intermediates ``Q̂`` itself creates, so on a WSD the cache is
+deliberately conservative — each execution invalidates all entries.  The
+Database and UWSDT keys are precise and serve repeated traffic sample- and
+DP-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.exec.physical import PhysicalPlan
+from ..core.planner.catalog import StatisticsCatalog, catalog_for
+from ..core.planner.planner import Plan
+
+#: Attribute under which :func:`plan_cache_for` stores the cache on an engine.
+CACHE_ATTRIBUTE = "_plan_cache"
+
+
+@dataclass
+class CachedPlan:
+    """One fully planned and lowered query, ready to re-execute."""
+
+    fingerprint: str
+    plan: Plan
+    physical: PhysicalPlan
+    base_relations: Tuple[str, ...]
+    #: Version key of every base relation at planning time; the entry is
+    #: valid exactly while all of them still match.
+    version_keys: Dict[str, Tuple[Any, ...]]
+    #: How many times this entry has been executed (feeds the replan
+    #: trigger: one execution is never enough evidence to replan).
+    executions: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class PlanCache:
+    """Per-engine cache of lowered plans, validated by version-key polling."""
+
+    def __init__(self, engine: Any) -> None:
+        self.engine = engine
+        self.catalog: StatisticsCatalog = catalog_for(engine)
+        self._lock = threading.RLock()
+        self._entries: Dict[str, CachedPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Entries dropped because a base relation's version key moved.
+        self.invalidations = 0
+
+    def _current_keys(self, relations: Tuple[str, ...]) -> Optional[Dict[str, Tuple[Any, ...]]]:
+        try:
+            return {name: self.catalog.version_key(name) for name in relations}
+        except KeyError:
+            return None  # a base relation was dropped: treat as invalid
+
+    def lookup(self, fingerprint: str) -> Optional[CachedPlan]:
+        """The valid cached plan for ``fingerprint``, or None.
+
+        A structurally present but stale entry (any base relation's version
+        key moved) is dropped and counted as an invalidation + miss.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            current = self._current_keys(entry.base_relations)
+            if current != entry.version_keys:
+                del self._entries[fingerprint]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
+
+    def store(self, fingerprint: str, plan: Plan, physical: PhysicalPlan) -> CachedPlan:
+        """Cache a freshly planned + lowered query under its fingerprint."""
+        with self._lock:
+            relations = tuple(sorted(plan.original.base_relations()))
+            keys = self._current_keys(relations)
+            entry = CachedPlan(
+                fingerprint=fingerprint,
+                plan=plan,
+                physical=physical,
+                base_relations=relations,
+                version_keys=keys if keys is not None else {},
+            )
+            self._entries[fingerprint] = entry
+            return entry
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> None:
+        """Drop one entry (or all of them when ``fingerprint`` is None)."""
+        with self._lock:
+            if fingerprint is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(fingerprint, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({len(self._entries)} plans, {self.hits} hits / "
+            f"{self.misses} misses, {self.invalidations} invalidations)"
+        )
+
+
+def plan_cache_for(engine: Any) -> PlanCache:
+    """The plan cache attached to ``engine``, created on first use.
+
+    Engine ``copy()`` methods do not carry the cache over, mirroring the
+    statistics catalog's attachment discipline.
+    """
+    cache = getattr(engine, CACHE_ATTRIBUTE, None)
+    if cache is None:
+        cache = PlanCache(engine)
+        try:
+            setattr(engine, CACHE_ATTRIBUTE, cache)
+        except AttributeError:
+            pass
+    return cache
