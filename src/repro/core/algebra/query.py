@@ -227,6 +227,33 @@ class Query:
             return ExecutionResult(value, metrics, physical)
         return value
 
+    def explain_analyze(
+        self, engine, result_name: str = "__explain", optimize: bool = True
+    ) -> str:
+        """Run this query with metrics and render its EXPLAIN ANALYZE report.
+
+        Plans (honoring ``optimize``), executes with metrics collection, and
+        returns the physical tree annotated per operator with estimated vs
+        actual rows, q-error, per-child input rows and self vs cumulative
+        time.  Note the representation-engine convention still applies: on a
+        WSD/UWSDT the run *extends* the representation with ``result_name``.
+        For cache/feedback provenance, use
+        :meth:`repro.service.Session.explain_analyze`, which serves the
+        query through the plan cache.
+        """
+        plan = self.plan(engine) if optimize else None
+        result = self.run(
+            engine, result_name, optimize=optimize, plan=plan, collect_metrics=True
+        )
+        observed = frozenset(plan.statistics.observed) if plan is not None else frozenset()
+        header = []
+        if plan is not None:
+            model = plan.statistics.cost_model()
+            header.append(f"cost model: {model.name} ({model.source} constants)")
+            if plan.join_order is not None:
+                header.append(f"join order: {plan.join_order}")
+        return result.physical.explain_analyze(observed, header)
+
 
 class BaseRelation(Query):
     """A reference to a stored relation."""

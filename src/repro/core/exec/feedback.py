@@ -195,8 +195,21 @@ def apply_feedback(
     other engines, so a saved document stays complete), optionally persists
     it to ``output_path`` and/or installs it for the current process.
     """
+    from ...obs.metrics import get_registry
+
     before = CostModel.for_engine(metrics.engine)
     updated = fold_metrics(metrics, before, alpha)
+    # Surface per-constant drift: the ratio an iteration applied to each
+    # constant (1.0 = the model already matched the observed run).
+    registry = get_registry()
+    registry.counter("repro.feedback.iterations", engine=metrics.engine).inc()
+    before_constants = before.constants()
+    for constant, value in updated.constants().items():
+        origin = before_constants.get(constant)
+        if origin:
+            registry.gauge(
+                "repro.feedback.constant_drift", engine=metrics.engine, constant=constant
+            ).set(value / origin)
     models = {
         name: CostModel.for_engine(name) for name in ("database", "wsd", "uwsdt")
     }

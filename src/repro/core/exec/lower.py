@@ -207,6 +207,9 @@ def lower(
         raise ValueError(f"unknown join algorithm {force_join!r}; expected {JOIN_ALGORITHMS}")
     if statistics is None:
         statistics = Statistics(engine=backend.kind)
-    lowering = _Lowering(backend, statistics, statistics.cost_model(), force_join)
-    lowering.seed_estimates(query)
-    return PhysicalPlan(lowering.lower(query), backend.kind)
+    from ...obs.trace import get_tracer
+
+    with get_tracer().span("lowering", engine=backend.kind):
+        lowering = _Lowering(backend, statistics, statistics.cost_model(), force_join)
+        lowering.seed_estimates(query)
+        return PhysicalPlan(lowering.lower(query), backend.kind)

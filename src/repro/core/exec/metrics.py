@@ -29,6 +29,12 @@ class OperatorMetrics:
     #: width factors need both).
     arity_in: Tuple[int, ...]
     arity_out: int
+    #: Wall time of this operator's own backend call alone — **self time**.
+    #: Children are executed (and timed) before the parent's clock starts,
+    #: so nested operators' ``seconds`` never overlap:
+    #: ``ExecutionMetrics.total_seconds`` is a true cumulative sum, and
+    #: per-node cumulative time is self + descendants
+    #: (:meth:`~repro.core.exec.physical.PhysicalPlan.cumulative_seconds`).
     seconds: float
     #: The planner's cardinality estimate for this operator's output, or
     #: None when the plan was lowered without statistics.
@@ -53,9 +59,20 @@ class OperatorMetrics:
         return max(estimated, actual) / min(estimated, actual)
 
     def describe(self) -> str:
-        parts = [f"{self.rows_out:,} rows in {self.seconds * 1e3:.3f} ms"]
+        """One line: per-child input rows, output rows, self time, estimate.
+
+        Join fan-in is explicit — ``in 1,200 × 3,000`` names both children's
+        cardinalities — and the time is labeled ``self`` because it excludes
+        the children (see :attr:`seconds`).
+        """
+        parts = []
+        if self.rows_in:
+            parts.append("in " + " × ".join(f"{rows:,}" for rows in self.rows_in))
+        parts.append(f"{self.rows_out:,} rows out in {self.seconds * 1e3:.3f} ms self")
         if self.estimated_rows is not None:
             parts.append(f"est {self.estimated_rows:,.0f}")
+            if self.cardinality_error is not None:
+                parts.append(f"q-err {self.cardinality_error:.2f}")
         return ", ".join(parts)
 
 
@@ -69,9 +86,19 @@ class ExecutionMetrics:
     #: through the query service — lets feedback and telemetry attribute
     #: observations to the cached plan that produced them.
     fingerprint: Optional[str] = None
+    #: Trace id of the service request that executed the plan (None outside
+    #: the service or with tracing disabled) — ties these metrics to the
+    #: request's span tree in the exported trace.
+    trace_id: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
+        """Cumulative wall time: the sum of per-operator **self** times.
+
+        Operator ``seconds`` are non-overlapping by construction (each
+        parent's clock starts after its children finished), so this sum
+        counts every backend call exactly once.
+        """
         return sum(record.seconds for record in self.records)
 
     @property
@@ -104,7 +131,8 @@ class ExecutionMetrics:
     def summary(self) -> str:
         lines = [
             f"execution metrics ({self.engine}): "
-            f"{len(self.records)} operators, {self.total_seconds * 1e3:.3f} ms"
+            f"{len(self.records)} operators, {self.total_seconds * 1e3:.3f} ms "
+            f"cumulative (sum of non-overlapping per-operator self times)"
         ]
         for record in self.records:
             lines.append(f"  {record.label}: {record.describe()}")

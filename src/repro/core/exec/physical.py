@@ -19,8 +19,10 @@ next to the chosen operators.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from ...obs.metrics import LATENCY_BUCKETS, QERROR_BUCKETS, get_registry
+from ...obs.trace import get_tracer
 from ...relational.errors import QueryError
 from ...relational.predicates import Predicate
 from .metrics import ExecutionMetrics, OperatorMetrics
@@ -307,6 +309,24 @@ class PhysicalPlan:
         return backend.finish(handle, result_name)
 
     def _execute(self, node: PhysicalOperator, backend, result_name: Optional[str]):
+        tracer = get_tracer()
+        if not tracer.enabled:
+            # Strict fast path: one attribute check, no span objects.
+            return self._execute_node(node, backend, result_name)
+        # The span covers the whole subtree (children nest inside it), so
+        # its duration is *cumulative* time; ``OperatorMetrics.seconds``
+        # stays the operator's own self time.
+        with tracer.span(f"execute-operator:{node.op_name}", label=node.label()) as span:
+            handle = self._execute_node(node, backend, result_name)
+            if node.metrics is not None:
+                span.annotate(
+                    rows_out=node.metrics.rows_out,
+                    self_seconds=node.metrics.seconds,
+                    estimated_rows=node.metrics.estimated_rows,
+                )
+        return handle
+
+    def _execute_node(self, node: PhysicalOperator, backend, result_name: Optional[str]):
         if isinstance(node, IndexNestedLoopJoin):
             # The inner Scan is never executed: the backend probes the
             # engine's cached index over the stored relation directly.
@@ -377,6 +397,17 @@ class PhysicalPlan:
             semantic_key=node.cardinality_key,
             relations=node.base_relation_names,
         )
+        # Feed the process-wide registry: one histogram observation per
+        # executed operator (not per tuple — constant overhead per node).
+        registry = get_registry()
+        registry.histogram(
+            "repro.exec.operator_seconds", LATENCY_BUCKETS, operator=node.op_name
+        ).observe(seconds)
+        error = node.metrics.cardinality_error
+        if error is not None:
+            registry.histogram(
+                "repro.exec.operator_qerror", QERROR_BUCKETS, operator=node.op_name
+            ).observe(error)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -404,6 +435,82 @@ class PhysicalPlan:
         lines = [header, "=" * len(header)]
         lines.extend(self._render(self.root, "", ""))
         return "\n".join(lines)
+
+    def cumulative_seconds(self, node: Optional[PhysicalOperator] = None) -> float:
+        """Self time of ``node`` plus all of its descendants (0 before
+        execution; unexecuted nodes such as the INLJ's inner scan count 0)."""
+        node = self.root if node is None else node
+        own = node.metrics.seconds if node.metrics is not None else 0.0
+        return own + sum(self.cumulative_seconds(child) for child in node.children)
+
+    def explain_analyze(
+        self,
+        observed_keys: FrozenSet[str] = frozenset(),
+        header_lines: Sequence[str] = (),
+    ) -> str:
+        """The executed plan, annotated per node with estimated vs actual
+        rows, q-error, self vs cumulative time, and per-child input rows.
+
+        ``observed_keys`` are the semantic cardinality keys whose estimates
+        came from executed-cardinality feedback rather than samples — nodes
+        lowered from those subtrees are tagged ``est←feedback``.  Must run
+        after :meth:`execute`; unexecuted nodes render without actuals.
+        """
+        header = f"EXPLAIN ANALYZE ({self.engine})"
+        lines = [header, "=" * len(header)]
+        lines.extend(header_lines)
+        metrics = self.metrics()
+        worst = metrics.max_cardinality_error()
+        summary = (
+            f"total {metrics.total_seconds * 1e3:.3f} ms across "
+            f"{len(metrics.records)} operators"
+        )
+        if worst is not None:
+            summary += f"; worst q-error {worst:.2f}"
+        lines.append(summary)
+        lines.extend(self._render_analyze(self.root, "", "", observed_keys))
+        return "\n".join(lines)
+
+    def _render_analyze(
+        self,
+        node: PhysicalOperator,
+        prefix: str,
+        child_prefix: str,
+        observed_keys: FrozenSet[str],
+    ) -> List[str]:
+        annotations: List[str] = []
+        if node.estimated_rows is not None:
+            source = (
+                "est←feedback"
+                if node.cardinality_key is not None and node.cardinality_key in observed_keys
+                else "est"
+            )
+            annotations.append(f"{source} {node.estimated_rows:,.0f}")
+        record = node.metrics
+        if record is not None:
+            if record.rows_in:
+                annotations.append(
+                    "in " + " × ".join(f"{rows:,}" for rows in record.rows_in)
+                )
+            annotations.append(f"actual {record.rows_out:,}")
+            if record.cardinality_error is not None:
+                annotations.append(f"q-err {record.cardinality_error:.2f}")
+            annotations.append(f"self {record.seconds * 1e3:.3f} ms")
+            annotations.append(f"cum {self.cumulative_seconds(node) * 1e3:.3f} ms")
+        elif node.op_name == "Scan":
+            annotations.append("not executed (index probe target)")
+        suffix = f"  [{' | '.join(annotations)}]" if annotations else ""
+        lines = [f"{prefix}{node.label()}{suffix}"]
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            branch = "└── " if last else "├── "
+            extend = "    " if last else "│   "
+            lines.extend(
+                self._render_analyze(
+                    child, child_prefix + branch, child_prefix + extend, observed_keys
+                )
+            )
+        return lines
 
     def _render(self, node: PhysicalOperator, prefix: str, child_prefix: str) -> List[str]:
         annotations = []

@@ -126,6 +126,11 @@ class StatisticsCatalog:
         else:
             self.kind = "wsd"
 
+    def _registry_counter(self, event: str):
+        from ...obs.metrics import get_registry
+
+        return get_registry().counter("repro.catalog." + event, engine=self.kind)
+
     # ------------------------------------------------------------------ #
     # Engine adapters
     # ------------------------------------------------------------------ #
@@ -155,13 +160,16 @@ class StatisticsCatalog:
     def _sample_one(self, name: str, sample_size: int) -> Optional[RelationSample]:
         if not sample_size:
             return None
-        if self.kind == "database":
-            samples = sample_database(self.engine, sample_size, only=(name,))
-        elif self.kind == "uwsdt":
-            samples = sample_uwsdt(self.engine, sample_size, only=(name,))
-        else:
-            samples = sample_wsd(self.engine, sample_size, only=(name,))
-        return samples.get(name)
+        from ...obs.trace import get_tracer
+
+        with get_tracer().span("sampling", relation=name, engine=self.kind):
+            if self.kind == "database":
+                samples = sample_database(self.engine, sample_size, only=(name,))
+            elif self.kind == "uwsdt":
+                samples = sample_uwsdt(self.engine, sample_size, only=(name,))
+            else:
+                samples = sample_wsd(self.engine, sample_size, only=(name,))
+            return samples.get(name)
 
     # ------------------------------------------------------------------ #
     # Entries
@@ -181,8 +189,10 @@ class StatisticsCatalog:
                 and cached.sample_size == size
             ):
                 self.hits += 1
+                self._registry_counter("hits").inc()
                 return cached, "cached-sample"
             self.misses += 1
+            self._registry_counter("misses").inc()
             row_count, density = self._row_count_and_density(name)
             attributes = self._relation_attributes(name)
             built = CatalogEntry(

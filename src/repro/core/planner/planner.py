@@ -277,23 +277,29 @@ def plan(
     phases: Sequence[Tuple[str, Sequence[RewriteRule]]] = DEFAULT_PHASES,
 ) -> Plan:
     """Plan ``query``: rewrite, cost both trees, pick the cheaper one."""
+    from ...obs.metrics import get_registry
+    from ...obs.trace import get_tracer
+
     global _PLAN_CALLS
     _PLAN_CALLS += 1
+    get_registry().counter("repro.planner.plan_calls").inc()
     statistics = statistics or Statistics()
-    context = RewriteContext(statistics)
-    trace: List[RuleApplication] = []
-    optimized = rewrite(query, context, phases, trace)
-    fixed = statistics.without_samples() if statistics.samples else None
-    return Plan(
-        original=query,
-        optimized=optimized,
-        applications=trace,
-        statistics=statistics,
-        cost_before=estimate(query, statistics),
-        cost_after=estimate(optimized, statistics),
-        cost_fixed_before=estimate(query, fixed) if fixed is not None else None,
-        cost_fixed_after=estimate(optimized, fixed) if fixed is not None else None,
-    )
+    with get_tracer().span("plan", engine=statistics.engine):
+        context = RewriteContext(statistics)
+        trace: List[RuleApplication] = []
+        with get_tracer().span("rewrite"):
+            optimized = rewrite(query, context, phases, trace)
+        fixed = statistics.without_samples() if statistics.samples else None
+        return Plan(
+            original=query,
+            optimized=optimized,
+            applications=trace,
+            statistics=statistics,
+            cost_before=estimate(query, statistics),
+            cost_after=estimate(optimized, statistics),
+            cost_fixed_before=estimate(query, fixed) if fixed is not None else None,
+            cost_fixed_after=estimate(optimized, fixed) if fixed is not None else None,
+        )
 
 
 def plan_for_engine(query: Query, engine, **kwargs) -> Plan:

@@ -340,9 +340,11 @@ class ReorderJoins(RewriteRule):
     whole_tree = True
 
     def apply(self, query: Query, context: RewriteContext) -> Optional[Query]:
+        from ...obs.trace import get_tracer
         from .joins import reorder_tree
 
-        return reorder_tree(query, context)
+        with get_tracer().span("join-dp"):
+            return reorder_tree(query, context)
 
 
 #: The default rule pipeline: each phase is run to a fixpoint in order

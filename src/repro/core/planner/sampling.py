@@ -67,8 +67,11 @@ def sampling_call_count() -> int:
 
 
 def _record_sampling() -> None:
+    from ...obs.metrics import get_registry
+
     global _SAMPLING_CALLS
     _SAMPLING_CALLS += 1
+    get_registry().counter("repro.planner.sampling_calls").inc()
 
 
 def reservoir(

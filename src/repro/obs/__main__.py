@@ -1,0 +1,181 @@
+"""``python -m repro.obs --selfcheck``: validate the tracing pipeline end to end.
+
+Runs a small traced workload through the query service, exports the Chrome
+trace-event document and the metrics snapshot, then re-parses both and
+checks the structural invariants CI relies on:
+
+* the trace JSON parses and every event carries the Chrome complete-event
+  fields (``ph``/``name``/``ts``/``dur``/``pid``/``tid``),
+* at least one ``request`` span exists and ``execute-operator`` spans nest
+  inside it (timestamp containment on the request's track *and* parent-id
+  chaining up to the request span),
+* the metrics snapshot carries plan-cache and planner counters, and the
+  Prometheus text exposition renders.
+
+Exit status 0 when every check passes, 1 otherwise — wired into CI next to
+the service smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import tempfile
+from typing import Optional, Sequence
+
+from .metrics import get_registry
+from .trace import get_tracer
+
+
+def _run_workload() -> None:
+    """A few service requests (cold + cached) against a tiny database."""
+    from ..service import QueryService
+    from ..service.benchmark import traffic_database, traffic_queries
+
+    service = QueryService()
+    service.register_engine("database", traffic_database(rows=300))
+    queries = traffic_queries(2)
+
+    async def drive() -> None:
+        session = service.session("database", "selfcheck")
+        for _ in range(3):
+            for query in queries:
+                await session.execute(query)
+
+    asyncio.run(drive())
+
+
+def _check(condition: bool, message: str, failures: list) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def selfcheck(trace_path: Optional[str] = None, keep: bool = False) -> int:
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enable()
+    _run_workload()
+    tracer.disable()
+
+    cleanup = False
+    if trace_path is None:
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", prefix="repro_trace_", delete=False
+        )
+        handle.close()
+        trace_path = handle.name
+        cleanup = not keep
+    exported = tracer.export_chrome(trace_path)
+    print(f"exported {exported} spans to {trace_path}")
+
+    failures: list = []
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    events = document.get("traceEvents", [])
+    _check(bool(events), "trace document parses and has events", failures)
+    required = {"ph", "name", "ts", "dur", "pid", "tid"}
+    _check(
+        all(required <= set(event) for event in events),
+        "every event carries the Chrome complete-event fields",
+        failures,
+    )
+
+    requests = [e for e in events if e["name"] == "request"]
+    operators = [e for e in events if e["name"].startswith("execute-operator")]
+    _check(bool(requests), "at least one request span", failures)
+    _check(bool(operators), "at least one execute-operator span", failures)
+
+    by_span_id = {e["args"]["span_id"]: e for e in events}
+
+    def _chains_to_request(event) -> bool:
+        parent_id = event["args"].get("parent_id")
+        while parent_id is not None:
+            parent = by_span_id.get(parent_id)
+            if parent is None:
+                return False
+            if parent["name"] == "request":
+                return True
+            parent_id = parent["args"].get("parent_id")
+        return False
+
+    def _contained(event) -> bool:
+        for request in requests:
+            if request["tid"] != event["tid"]:
+                continue
+            if (
+                request["ts"] <= event["ts"]
+                and event["ts"] + event["dur"] <= request["ts"] + request["dur"] + 1.0
+            ):
+                return True
+        return False
+
+    _check(
+        all(_chains_to_request(op) for op in operators),
+        "operator spans chain up to a request span",
+        failures,
+    )
+    _check(
+        all(_contained(op) for op in operators),
+        "operator spans are time-contained in their request's track",
+        failures,
+    )
+
+    snapshot = get_registry().snapshot()
+    counters = snapshot.get("counters", {})
+    _check(
+        counters.get("repro.plan_cache.hits", 0) > 0,
+        "plan-cache hit counter moved",
+        failures,
+    )
+    _check(
+        counters.get("repro.planner.plan_calls", 0) > 0,
+        "planner call counter moved",
+        failures,
+    )
+    _check(
+        any(name.startswith("repro.exec.operator_seconds") for name in snapshot["histograms"]),
+        "per-operator latency histograms recorded",
+        failures,
+    )
+    text = get_registry().to_prometheus_text()
+    _check(
+        "# TYPE repro_plan_cache_hits counter" in text,
+        "Prometheus text exposition renders",
+        failures,
+    )
+
+    if cleanup:
+        os.unlink(trace_path)
+    if failures:
+        print(f"selfcheck FAILED ({len(failures)} check(s))")
+        return 1
+    print("selfcheck passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Observability selfcheck: trace a workload, validate the "
+        "Chrome trace export and the metrics snapshot."
+    )
+    parser.add_argument(
+        "--selfcheck", action="store_true", help="run the end-to-end validation"
+    )
+    parser.add_argument(
+        "--trace-output",
+        default=None,
+        help="keep the exported Chrome trace at this path (default: temp file)",
+    )
+    args = parser.parse_args(argv)
+    if not args.selfcheck:
+        parser.print_help()
+        return 2
+    return selfcheck(args.trace_output, keep=args.trace_output is not None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

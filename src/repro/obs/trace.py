@@ -1,0 +1,302 @@
+"""Contextvar-based hierarchical tracing with a strict no-op fast path.
+
+One process-wide :class:`Tracer` hands out :class:`Span` context managers::
+
+    with get_tracer().span("request", fingerprint=fp) as span:
+        ...
+        span.annotate(rows=42)
+
+Span parentage follows the *context*, not the call stack: the current span
+lives in a :mod:`contextvars` variable, so spans nest correctly across
+``await`` boundaries — two interleaved asyncio requests each keep their own
+span tree, and thread-offloaded work inherits its caller's context the way
+``contextvars`` prescribes.  Every root span mints a fresh ``trace_id``;
+children inherit it, which is how one service request's planning decisions
+are tied to its execution outcome.
+
+**The disabled fast path is strict**: while the tracer is disabled (the
+default), :meth:`Tracer.span` returns one shared no-op singleton — no
+allocation, no clock reads, no contextvar writes — so instrumented hot
+paths (``Query.run``, per-operator execution) cost one attribute check.
+Tests assert this stays true.
+
+Finished spans are kept in a bounded in-memory buffer and exported either as
+
+* JSON-lines (:meth:`Tracer.export_jsonl`) — one span object per line, or
+* Chrome trace-event format (:meth:`Tracer.export_chrome`) — loadable in
+  ``chrome://tracing`` / https://ui.perfetto.dev; each trace id gets its own
+  track, so concurrent requests render as parallel rows of nested slices.
+
+Setting ``REPRO_TRACE=<path>`` enables the tracer at import time and
+registers an :mod:`atexit` export to that path — ``.jsonl`` selects the
+JSON-lines format, anything else the Chrome format (``REPRO_TRACE=1``
+defaults to ``TRACE.json``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Environment variable that enables tracing and names the export path.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Default export path for ``REPRO_TRACE=1`` / ``REPRO_TRACE=true``.
+DEFAULT_TRACE_PATH = "TRACE.json"
+
+#: Bound on buffered finished spans (the overflow count is reported instead
+#: of growing memory with traffic).
+MAX_BUFFERED_SPANS = 200_000
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+class Span:
+    """One traced region; also its own context manager."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "thread",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_span_ids)
+        self.parent_id: Optional[int] = None
+        self.trace_id = ""
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.thread = 0
+        self._token: Optional[contextvars.Token] = None
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the span after it has started."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        parent = _current_span.get()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+        else:
+            self.trace_id = f"t{next(_trace_ids)}"
+        self.thread = threading.get_ident()
+        self._token = _current_span.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self._tracer._finish(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "seconds": self.seconds,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+
+class _NoopSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The singleton handed out by a disabled tracer — identity-checkable by
+#: tests to prove the fast path allocates nothing.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """The process-wide span factory, buffer and exporter."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self.dropped = 0
+        #: ``perf_counter`` origin used to place exported timestamps.
+        self.epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # Span creation
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attrs: Any):
+        """A context manager tracing ``name`` (no-op singleton when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span of the calling context, or None."""
+        return _current_span.get()
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= MAX_BUFFERED_SPANS:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Disable and drop all buffered spans (tests)."""
+        with self._lock:
+            self.enabled = False
+            self._spans.clear()
+            self.dropped = 0
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per finished span; returns the span count."""
+        spans = self.finished_spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), default=str) + "\n")
+        return len(spans)
+
+    def chrome_trace_events(self) -> List[Dict[str, Any]]:
+        """Finished spans as Chrome ``"ph": "X"`` complete events.
+
+        Each trace id is mapped to its own synthetic ``tid`` so concurrent
+        requests render as parallel tracks; nesting within a track follows
+        from timestamp containment, which the contextvar parentage
+        guarantees.
+        """
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+        for span in self.finished_spans():
+            tid = tids.setdefault(span.trace_id, len(tids) + 1)
+            events.append(
+                {
+                    "ph": "X",
+                    "cat": "repro",
+                    "name": span.name,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (span.start - self.epoch) * 1e6,
+                    "dur": span.seconds * 1e6,
+                    "args": {
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        **{key: str(value) for key, value in span.attrs.items()},
+                    },
+                }
+            )
+        return events
+
+    def export_chrome(self, path: str) -> int:
+        """Write the Chrome trace-event JSON document; returns the span count."""
+        events = self.chrome_trace_events()
+        document = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": "repro-trace", "dropped_spans": self.dropped},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return len(events)
+
+
+#: The process-wide tracer every instrumented layer shares.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer`."""
+    return _TRACER
+
+
+def configure_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Honor ``REPRO_TRACE``: enable the tracer and schedule an exit export.
+
+    Returns the export path when tracing was enabled, else None.  Called
+    once at import; callable again by tests after monkeypatching the
+    environment.
+    """
+    env = os.environ if environ is None else environ
+    value = env.get(TRACE_ENV, "").strip()
+    if not value or value == "0" or value.lower() == "false":
+        return None
+    path = DEFAULT_TRACE_PATH if value.lower() in ("1", "true") else value
+    _TRACER.enable()
+
+    def _flush(target: str = path) -> None:
+        if target.endswith(".jsonl"):
+            _TRACER.export_jsonl(target)
+        else:
+            _TRACER.export_chrome(target)
+
+    atexit.register(_flush)
+    return path
+
+
+configure_from_env()

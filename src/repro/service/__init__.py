@@ -16,29 +16,42 @@ queries whose estimates stay wrong — the self-correcting loop.
   validated.
 * :mod:`repro.service.benchmark`  — the concurrent-traffic benchmark
   (p50/p95/p99 + hit rate), run by ``python -m repro.service``.
+
+Observability: every request runs under a ``request`` span (cache lookup,
+planning and each physical operator nest inside it), feeds the process-wide
+:mod:`repro.obs` metrics registry, and lands in the slow-query log when it
+crosses the configured threshold; ``Session.explain_analyze`` renders the
+executed plan with cache/feedback provenance.  See ``docs/observability.md``.
 """
 
-from .plan_cache import CACHE_ATTRIBUTE, CachedPlan, PlanCache, plan_cache_for
+from .plan_cache import CACHE_ATTRIBUTE, EVICTION_REASONS, CachedPlan, PlanCache, plan_cache_for
 from .server import (
     DEFAULT_REPLAN_MIN_EXECUTIONS,
     DEFAULT_REPLAN_QERROR,
+    DEFAULT_SLOW_QUERY_SECONDS,
+    SLOW_QUERY_ENV,
     QueryOutcome,
     QueryService,
     ServiceStats,
+    SlowQuery,
 )
 from .session import Session, Snapshot
 from .benchmark import run_traffic_benchmark, traffic_database, traffic_queries
 
 __all__ = [
     "CACHE_ATTRIBUTE",
+    "EVICTION_REASONS",
     "CachedPlan",
     "PlanCache",
     "plan_cache_for",
     "DEFAULT_REPLAN_MIN_EXECUTIONS",
     "DEFAULT_REPLAN_QERROR",
+    "DEFAULT_SLOW_QUERY_SECONDS",
+    "SLOW_QUERY_ENV",
     "QueryOutcome",
     "QueryService",
     "ServiceStats",
+    "SlowQuery",
     "Session",
     "Snapshot",
     "run_traffic_benchmark",

@@ -2,7 +2,11 @@
 
 ``--smoke`` shrinks the workload to CI sizes; the JSON report is written to
 ``--output`` and uploaded as a CI artifact next to the BENCH / COST_PROFILE
-/ TRAJECTORY uploads.
+/ TRAJECTORY uploads.  The run is traced: the Chrome trace-event file and
+the metrics-registry snapshot land in ``--trace-output`` /
+``--metrics-output`` (``TRACE_smoke.json`` / ``METRICS_smoke.json`` by
+default), so every CI run ships an openable span timeline and a counter
+snapshot alongside the latency report.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ import argparse
 import json
 from typing import Optional, Sequence
 
+from ..obs import get_registry, get_tracer
 from .benchmark import run_traffic_benchmark
 
 
@@ -20,6 +25,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(latency percentiles + plan-cache hit rate)."
     )
     parser.add_argument("--output", default="SERVICE_smoke.json")
+    parser.add_argument(
+        "--trace-output",
+        default="TRACE_smoke.json",
+        help="Chrome trace-event file for the benchmark run ('' to disable)",
+    )
+    parser.add_argument(
+        "--metrics-output",
+        default="METRICS_smoke.json",
+        help="metrics-registry snapshot for the run ('' to disable)",
+    )
     parser.add_argument("--rows", type=int, default=2_000)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=25, help="requests per client")
@@ -31,11 +46,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         rows, clients, requests = args.rows, args.clients, args.requests
 
+    tracer = get_tracer()
+    registry = get_registry()
+    if args.trace_output:
+        tracer.enable()
+
     report = run_traffic_benchmark(
         rows=rows, clients=clients, requests_per_client=requests
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
+
+    if args.trace_output:
+        spans = tracer.export_chrome(args.trace_output)
+        print(f"trace written   : {args.trace_output} ({spans} spans)")
+    if args.metrics_output:
+        with open(args.metrics_output, "w", encoding="utf-8") as handle:
+            json.dump(registry.snapshot(), handle, indent=2)
+        print(f"metrics written : {args.metrics_output}")
 
     latency = report["latency_seconds"]
     print(f"requests        : {report['requests']}")

@@ -34,9 +34,16 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.exec.physical import PhysicalPlan
 from ..core.planner.catalog import StatisticsCatalog, catalog_for
 from ..core.planner.planner import Plan
+from ..obs.metrics import get_registry
 
 #: Attribute under which :func:`plan_cache_for` stores the cache on an engine.
 CACHE_ATTRIBUTE = "_plan_cache"
+
+#: Eviction reasons recorded in ``repro.plan_cache.evictions{reason=...}``:
+#: ``stale-version`` (a base relation's version key moved under the entry),
+#: ``replan`` (the service's q-error trigger), ``explicit`` (direct
+#: invalidation), ``clear`` (whole-cache drop).
+EVICTION_REASONS = ("stale-version", "replan", "explicit", "clear")
 
 
 @dataclass
@@ -81,19 +88,32 @@ class PlanCache:
         A structurally present but stale entry (any base relation's version
         key moved) is dropped and counted as an invalidation + miss.
         """
+        registry = get_registry()
         with self._lock:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
+                registry.counter("repro.plan_cache.misses").inc()
                 return None
             current = self._current_keys(entry.base_relations)
             if current != entry.version_keys:
                 del self._entries[fingerprint]
                 self.invalidations += 1
                 self.misses += 1
+                registry.counter("repro.plan_cache.misses").inc()
+                registry.counter(
+                    "repro.plan_cache.evictions", reason="stale-version"
+                ).inc()
                 return None
             self.hits += 1
+            registry.counter("repro.plan_cache.hits").inc()
             return entry
+
+    def peek(self, fingerprint: str) -> Optional[CachedPlan]:
+        """The raw entry, without validation or hit/miss accounting (telemetry
+        and ``explain_analyze`` provenance; never use it to serve a plan)."""
+        with self._lock:
+            return self._entries.get(fingerprint)
 
     def store(self, fingerprint: str, plan: Plan, physical: PhysicalPlan) -> CachedPlan:
         """Cache a freshly planned + lowered query under its fingerprint."""
@@ -110,13 +130,22 @@ class PlanCache:
             self._entries[fingerprint] = entry
             return entry
 
-    def invalidate(self, fingerprint: Optional[str] = None) -> None:
-        """Drop one entry (or all of them when ``fingerprint`` is None)."""
+    def invalidate(self, fingerprint: Optional[str] = None, reason: str = "explicit") -> None:
+        """Drop one entry (or all of them when ``fingerprint`` is None).
+
+        ``reason`` labels the eviction counter (see :data:`EVICTION_REASONS`);
+        the service passes ``"replan"`` from its q-error trigger.
+        """
+        registry = get_registry()
         with self._lock:
             if fingerprint is None:
+                if self._entries:
+                    registry.counter("repro.plan_cache.evictions", reason="clear").inc(
+                        len(self._entries)
+                    )
                 self._entries.clear()
-            else:
-                self._entries.pop(fingerprint, None)
+            elif self._entries.pop(fingerprint, None) is not None:
+                registry.counter("repro.plan_cache.evictions", reason=reason).inc()
 
     def __len__(self) -> int:
         return len(self._entries)

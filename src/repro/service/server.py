@@ -31,13 +31,19 @@ thread locks besides, so even thread-offloaded work cannot corrupt them.
 from __future__ import annotations
 
 import asyncio
+import collections
+import logging
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from ..core.exec import backend_for, lower
 from ..core.exec.metrics import ExecutionMetrics
+from ..core.exec.physical import PhysicalPlan
 from ..core.planner.catalog import catalog_for
+from ..obs.metrics import LATENCY_BUCKETS, get_registry
+from ..obs.trace import get_tracer
 from .plan_cache import CachedPlan, PlanCache, plan_cache_for
 from .session import Session
 
@@ -49,6 +55,44 @@ DEFAULT_REPLAN_QERROR = 4.0
 #: :data:`~repro.core.planner.observed.OBSERVED_MIN_COUNT`, or the replan
 #: would run before the planner is allowed to consume the observations.
 DEFAULT_REPLAN_MIN_EXECUTIONS = 2
+
+#: Environment variable overriding the slow-query threshold (milliseconds).
+SLOW_QUERY_ENV = "REPRO_SLOW_QUERY_MS"
+
+#: Default slow-query threshold in seconds (a request slower than this is
+#: recorded in the slow-query log).
+DEFAULT_SLOW_QUERY_SECONDS = 0.25
+
+#: Bound on retained slow-query records.
+SLOW_QUERY_LOG_SIZE = 256
+
+_slow_log = logging.getLogger("repro.service.slow")
+
+
+def slow_query_threshold_from_env(default: float = DEFAULT_SLOW_QUERY_SECONDS) -> float:
+    """The slow-query threshold in seconds, honoring ``REPRO_SLOW_QUERY_MS``."""
+    value = os.environ.get(SLOW_QUERY_ENV, "").strip()
+    if not value:
+        return default
+    try:
+        return float(value) / 1e3
+    except ValueError:
+        return default
+
+
+@dataclass
+class SlowQuery:
+    """One request that exceeded the slow-query threshold."""
+
+    fingerprint: str
+    engine: str
+    seconds: float
+    #: Whether the offending request was served from the plan cache.
+    cached: bool
+    #: Worst per-operator q-error of the request (None without estimates).
+    worst_qerror: Optional[float]
+    trace_id: Optional[str]
+    result_name: str
 
 
 @dataclass
@@ -65,6 +109,11 @@ class QueryOutcome:
     replanned: bool
     seconds: float
     metrics: Optional[ExecutionMetrics] = None
+    #: The executed physical plan (its nodes carry this run's per-operator
+    #: metrics) — what ``Session.explain_analyze`` renders.
+    physical: Optional[PhysicalPlan] = None
+    #: Trace id of the request span (None with tracing disabled).
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -106,11 +155,19 @@ class QueryService:
         self,
         replan_qerror: float = DEFAULT_REPLAN_QERROR,
         replan_min_executions: int = DEFAULT_REPLAN_MIN_EXECUTIONS,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self.engines: Dict[str, Any] = {}
         self.replan_qerror = replan_qerror
         self.replan_min_executions = replan_min_executions
+        #: Requests slower than this (seconds) land in :attr:`slow_queries`;
+        #: defaults to ``REPRO_SLOW_QUERY_MS`` or 250 ms.
+        self.slow_query_seconds = (
+            slow_query_threshold_from_env() if slow_query_seconds is None else slow_query_seconds
+        )
         self.stats = ServiceStats()
+        #: Bounded log of requests that exceeded the slow-query threshold.
+        self.slow_queries: Deque[SlowQuery] = collections.deque(maxlen=SLOW_QUERY_LOG_SIZE)
         self._locks: Dict[str, asyncio.Lock] = {}
         self._result_counter = 0
 
@@ -157,22 +214,40 @@ class QueryService:
         cache = plan_cache_for(engine)
         fingerprint = query.fingerprint()
         name = result_name or self._next_result_name()
-        async with self._lock(engine_name):
-            start = time.perf_counter()
-            entry = cache.lookup(fingerprint)
-            cached = entry is not None
-            if entry is None:
-                entry = self._plan_and_cache(engine, cache, query, fingerprint)
-            result = query.run(
-                engine, name, physical=entry.physical, collect_metrics=True
-            )
-            seconds = time.perf_counter() - start
-            entry.executions += 1
-            metrics = result.metrics
-            metrics.fingerprint = fingerprint
-            replanned = self._maybe_evict(cache, entry, metrics)
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span("request", fingerprint=fingerprint, engine=engine_name) as root:
+            trace_id = root.trace_id
+            wait_start = time.perf_counter()
+            async with self._lock(engine_name):
+                waited = time.perf_counter() - wait_start
+                registry.histogram(
+                    "repro.service.lock_wait_seconds", LATENCY_BUCKETS
+                ).observe(waited)
+                start = time.perf_counter()
+                with tracer.span("cache-lookup"):
+                    entry = cache.lookup(fingerprint)
+                cached = entry is not None
+                if entry is None:
+                    entry = self._plan_and_cache(engine, cache, query, fingerprint)
+                with tracer.span("execute", cached=cached):
+                    result = query.run(
+                        engine, name, physical=entry.physical, collect_metrics=True
+                    )
+                seconds = time.perf_counter() - start
+                entry.executions += 1
+                metrics = result.metrics
+                metrics.fingerprint = fingerprint
+                metrics.trace_id = trace_id
+                replanned = self._maybe_evict(cache, entry, metrics)
+            root.annotate(cached=cached, seconds=seconds, replanned=replanned)
 
         self.stats.requests += 1
+        outcome_label = "hit" if cached else "miss"
+        registry.counter("repro.service.requests", cache=outcome_label).inc()
+        registry.histogram(
+            "repro.service.request_seconds", LATENCY_BUCKETS, cache=outcome_label
+        ).observe(seconds)
         if cached:
             self.stats.cache_hits += 1
             self.stats.warm_latencies.append(seconds)
@@ -180,6 +255,8 @@ class QueryService:
             self.stats.cold_latencies.append(seconds)
         if replanned:
             self.stats.replans += 1
+            registry.counter("repro.service.replans").inc()
+        self._record_if_slow(fingerprint, engine_name, seconds, cached, metrics, trace_id, name)
         return QueryOutcome(
             fingerprint=fingerprint,
             engine=engine_name,
@@ -189,6 +266,42 @@ class QueryService:
             replanned=replanned,
             seconds=seconds,
             metrics=metrics,
+            physical=result.physical,
+            trace_id=trace_id,
+        )
+
+    def _record_if_slow(
+        self,
+        fingerprint: str,
+        engine_name: str,
+        seconds: float,
+        cached: bool,
+        metrics: ExecutionMetrics,
+        trace_id: Optional[str],
+        result_name: str,
+    ) -> None:
+        """Append to the slow-query log when the request crossed the threshold."""
+        if self.slow_query_seconds is None or seconds < self.slow_query_seconds:
+            return
+        record = SlowQuery(
+            fingerprint=fingerprint,
+            engine=engine_name,
+            seconds=seconds,
+            cached=cached,
+            worst_qerror=metrics.max_cardinality_error(),
+            trace_id=trace_id,
+            result_name=result_name,
+        )
+        self.slow_queries.append(record)
+        get_registry().counter("repro.service.slow_queries").inc()
+        _slow_log.warning(
+            "slow query %s on %s: %.1f ms (%s, worst q-error %s, trace %s)",
+            fingerprint,
+            engine_name,
+            seconds * 1e3,
+            "cache hit" if cached else "cache miss",
+            f"{record.worst_qerror:.2f}" if record.worst_qerror is not None else "n/a",
+            trace_id or "-",
         )
 
     def _plan_and_cache(
@@ -214,8 +327,50 @@ class QueryService:
         error = metrics.max_cardinality_error()
         if error is None or error < self.replan_qerror:
             return False
-        cache.invalidate(entry.fingerprint)
+        cache.invalidate(entry.fingerprint, reason="replan")
         return True
+
+    # ------------------------------------------------------------------ #
+    # Telemetry exposition
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready snapshot of everything the service knows about
+        itself: request/latency stats, per-engine plan-cache counters, the
+        slow-query log, and the process-wide metrics registry."""
+        caches = {}
+        for name, engine in self.engines.items():
+            cache = plan_cache_for(engine)
+            caches[name] = {
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "invalidations": cache.invalidations,
+            }
+        return {
+            "requests": self.stats.requests,
+            "cache_hits": self.stats.cache_hits,
+            "hit_rate": self.stats.hit_rate,
+            "replans": self.stats.replans,
+            "latency_seconds": self.stats.latency_summary(),
+            "plan_caches": caches,
+            "slow_queries": [
+                {
+                    "fingerprint": record.fingerprint,
+                    "engine": record.engine,
+                    "seconds": record.seconds,
+                    "cached": record.cached,
+                    "worst_qerror": record.worst_qerror,
+                    "trace_id": record.trace_id,
+                }
+                for record in self.slow_queries
+            ],
+            "registry": get_registry().snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the process-wide registry."""
+        return get_registry().to_prometheus_text()
 
     # ------------------------------------------------------------------ #
     # Mutations

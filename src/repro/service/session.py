@@ -81,6 +81,33 @@ class Session:
         """Apply a mutation to this session's engine under the engine lock."""
         return await self.service.mutate(self.engine_name, mutator)
 
+    async def explain_analyze(self, query, result_name: Optional[str] = None) -> str:
+        """Execute ``query`` through the service and render EXPLAIN ANALYZE.
+
+        The report is the executed physical plan annotated per operator with
+        estimated vs actual rows, q-error, per-child input rows and self vs
+        cumulative time — plus the *service* provenance a bare
+        ``Query.explain_analyze`` cannot know: whether the plan came from
+        the cache, how many times the cached entry has executed, whether
+        this execution triggered a replan eviction, and the request's trace
+        id.  Estimates fed by executed-cardinality feedback (rather than
+        samples) are tagged ``est←feedback``.
+        """
+        outcome = await self.execute(query, result_name)
+        catalog = catalog_for(self.engine)
+        observed = frozenset(catalog.observed_view())
+        entry = self.service.plan_cache(self.engine_name).peek(outcome.fingerprint)
+        header = [
+            f"fingerprint: {outcome.fingerprint}  engine: {outcome.engine}",
+            "plan source: "
+            + ("plan cache (hit)" if outcome.cached else "planned this request (miss)")
+            + (f", {entry.executions} cached execution(s)" if entry is not None else "")
+            + (", evicted for replan after this run" if outcome.replanned else ""),
+            f"request: {outcome.seconds * 1e3:.3f} ms"
+            + (f"  trace: {outcome.trace_id}" if outcome.trace_id else ""),
+        ]
+        return outcome.physical.explain_analyze(observed, header)
+
     def snapshot(self, relations: Sequence[str]) -> Snapshot:
         """Capture the named relations' version keys for later staleness checks."""
         return Snapshot(self.engine, relations)
