@@ -132,6 +132,55 @@ def test_planned_vs_unplanned(benchmark, query_name, density, optimize):
 
 
 # --------------------------------------------------------------------------- #
+# Row vs columnar backend: the same plans through vectorized kernels
+# --------------------------------------------------------------------------- #
+
+BACKENDS = ("row", "columnar")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "density", PLANNER_DENSITIES, ids=[density_label(d) for d in PLANNER_DENSITIES]
+)
+def test_row_vs_columnar_backend(benchmark, density, backend):
+    """One point of the row-vs-columnar sweep on the 4-way census join.
+
+    The same planned query executes row-at-a-time and through the columnar
+    kernels (certain subtrees run over ``ColumnBatch`` values between
+    Materialize/Dematerialize boundaries; uncertain subtrees stay on the
+    row path).  Both backends appear as separate series in the benchmark
+    JSON, so ``plot_trajectory.py`` charts the gap across runs.
+    """
+    rows = base_rows()
+    instance = census_instance(rows, density)
+    query = q_four_way_join()
+
+    if density == 0.0:
+        database = instance.one_world_database()
+
+        def run():
+            return query.run(database, "result", backend=backend)
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = len(result)
+    else:
+        chased = _chased(rows, density)
+
+        def run():
+            working_copy = chased.copy()
+            query.run(working_copy, "result", backend=backend)
+            return working_copy
+
+        result = benchmark(run)
+        benchmark.extra_info["result_size"] = result.template_size("result")
+
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["density"] = density_label(density)
+    benchmark.extra_info["query"] = "Q4way"
+    benchmark.extra_info["backend"] = backend
+
+
+# --------------------------------------------------------------------------- #
 # Statistics catalog: repeated planning against an unchanged engine
 # --------------------------------------------------------------------------- #
 

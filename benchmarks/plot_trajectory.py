@@ -9,7 +9,8 @@ run's worth, or a directory of downloaded artifacts spanning many runs —
 and it renders the trajectory:
 
 * per-benchmark mean seconds over runs (planned vs unplanned, cold vs warm
-  planning, hash vs index-nested-loop join timings),
+  planning, hash vs index-nested-loop join timings, row vs columnar
+  backend),
 * the fitted cost constants per engine over runs,
 * the planner's chosen join orders and estimated-vs-actual join
   cardinalities carried in the benchmarks' ``extra_info``,
@@ -204,6 +205,24 @@ def render_markdown(
                 for key, value in interesting.items():
                     lines.append(f"  - {key}: `{value}`")
         lines.append("")
+
+        backend_rows = [
+            (
+                benchmark_key(b),
+                b.get("extra_info", {}).get("backend"),
+                b.get("stats", {}).get("mean"),
+            )
+            for b in latest["benchmarks"]
+            if b.get("extra_info", {}).get("backend")
+        ]
+        if backend_rows:
+            lines.append("## Row vs columnar backend (latest run)")
+            lines.append("")
+            lines.append("| benchmark | backend | mean |")
+            lines.append("|---|---|---|")
+            for key, backend, mean in backend_rows:
+                lines.append(f"| `{key}` | {backend} | {_fmt(mean)} |")
+            lines.append("")
 
     if profile_runs:
         lines.append("## Fitted cost constants")

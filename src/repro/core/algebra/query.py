@@ -146,30 +146,40 @@ class Query:
             )
         return build_plan(self, statistics)
 
-    def _lowered(self, engine, optimize: bool, plan, force_join=None):
-        """Resolve the executable tree and lower it for ``engine``'s backend."""
-        from ..exec import backend_for, lower
+    def _lowered(self, engine, optimize: bool, plan, force_join=None, backend=None):
+        """Resolve the executable tree and lower it for ``engine``'s backend.
+
+        ``backend`` is the user-facing spec (``"row"`` / ``"columnar"`` /
+        ``"auto"`` / None for the ``REPRO_BACKEND`` environment variable, or
+        an already-constructed :class:`~repro.core.exec.EngineBackend`).
+        """
+        from ..exec import backend_for, lower, resolve_backend
         from ..planner import Statistics
 
-        backend = backend_for(engine)
+        backend_for(engine)  # fail fast on unknown engine types (QueryError)
         if plan is None and optimize:
             plan = self.plan(engine)
         if plan is not None:
             executable, statistics = plan.chosen, plan.statistics
         else:
+            executable, statistics = self, None
+        resolved = resolve_backend(engine, backend, query=executable, statistics=statistics)
+        if statistics is None:
             # Verbatim execution: no sampling, but the backend's cost model
             # still drives structural physical choices.
-            executable, statistics = self, Statistics(engine=backend.kind)
-        return backend, lower(executable, backend, statistics, force_join=force_join)
+            statistics = Statistics(engine=resolved.kind)
+        return resolved, lower(executable, resolved, statistics, force_join=force_join)
 
-    def physical_plan(self, engine, optimize: bool = True, plan=None, force_join=None):
+    def physical_plan(
+        self, engine, optimize: bool = True, plan=None, force_join=None, backend=None
+    ):
         """The :class:`~repro.core.exec.PhysicalPlan` this query would run.
 
         ``physical_plan(engine).explain()`` shows the chosen physical
         operators (index scans, hash vs index-nested-loop joins) without
         executing anything.
         """
-        _, physical = self._lowered(engine, optimize, plan, force_join)
+        _, physical = self._lowered(engine, optimize, plan, force_join, backend)
         return physical
 
     def run(
@@ -181,6 +191,7 @@ class Query:
         collect_metrics: bool = False,
         force_join=None,
         physical=None,
+        backend=None,
     ):
         """Evaluate this query on any of the three engines.
 
@@ -211,13 +222,20 @@ class Query:
         path of :mod:`repro.service`.  The caller is responsible for the
         plan's freshness; a stale plan still computes the query it was
         lowered from, just possibly sub-optimally.
+
+        ``backend`` selects the executing backend: ``"row"`` (the engine's
+        classical row-at-a-time backend), ``"columnar"`` (vectorized kernels
+        over certain subtrees, see :mod:`repro.core.exec.columnar`),
+        ``"auto"`` (cost-based pick once the calibrator has fitted the
+        columnar constants), or None to honor the ``REPRO_BACKEND``
+        environment variable (default ``"row"``).
         """
         if physical is not None:
-            from ..exec import backend_for
+            from ..exec import resolve_backend
 
-            backend = backend_for(engine)
+            backend = resolve_backend(engine, backend)
         else:
-            backend, physical = self._lowered(engine, optimize, plan, force_join)
+            backend, physical = self._lowered(engine, optimize, plan, force_join, backend)
         value = physical.execute(backend, result_name)
         if collect_metrics:
             from ..exec import ExecutionResult, record_into_catalog

@@ -152,20 +152,64 @@ def _chase_egd_wsd(wsd: WSD, dependency: EqualityGeneratingDependency) -> None:
 def _egd_may_be_violated_wsd(
     wsd: WSD, dependency: EqualityGeneratingDependency, tuple_id: Any
 ) -> bool:
-    """Refinement: skip tuples where some premise is false (or the conclusion true) in all worlds."""
+    """Refinement: skip tuples whose components admit no jointly violating world.
+
+    Atoms are grouped by the component holding their field and each group is
+    checked against the component's actual local worlds.  The joint check
+    matters when an earlier dependency already composed two of the fields:
+    premises that are satisfiable attribute-by-attribute but not in any
+    surviving combination must not force another composition.
+    """
     relation = dependency.relation
+    groups: Dict[int, List[Comparison]] = {}
     for premise in dependency.premises:
-        field = FieldRef(relation, tuple_id, premise.attribute)
-        component = wsd.component_for(field)
-        values = [v for v in component.column(field) if v is not BOTTOM]
-        if values and all(not premise.evaluate(v) for v in values):
+        cid = wsd.component_of(FieldRef(relation, tuple_id, premise.attribute))
+        groups.setdefault(cid, []).append(premise)
+    conclusion = dependency.conclusion
+    conclusion_cid = wsd.component_of(FieldRef(relation, tuple_id, conclusion.attribute))
+    groups.setdefault(conclusion_cid, [])
+    for cid, atoms in groups.items():
+        component = wsd.components[cid]
+        positions = [
+            (atom, component.position(FieldRef(relation, tuple_id, atom.attribute)))
+            for atom in atoms
+        ]
+        conclusion_position = (
+            component.position(FieldRef(relation, tuple_id, conclusion.attribute))
+            if cid == conclusion_cid
+            else None
+        )
+        if not _egd_component_witness(component, positions, conclusion, conclusion_position):
             return False
-    conclusion_field = FieldRef(relation, tuple_id, dependency.conclusion.attribute)
-    component = wsd.component_for(conclusion_field)
-    values = [v for v in component.column(conclusion_field) if v is not BOTTOM]
-    if values and all(dependency.conclusion.evaluate(v) for v in values):
-        return False
     return True
+
+
+def _egd_component_witness(
+    component: Component,
+    premise_positions: Sequence[Tuple[Comparison, int]],
+    conclusion: Comparison,
+    conclusion_position: Optional[int],
+) -> bool:
+    """True iff some local world satisfies the premises and can falsify the conclusion.
+
+    ``BOTTOM`` values are treated conservatively (the atom may still go either
+    way), matching the ``keep`` closures of the chase proper.
+    """
+    for row in component.rows:
+        satisfied = True
+        for atom, position in premise_positions:
+            value = row[position]
+            if value is not BOTTOM and not atom.evaluate(value):
+                satisfied = False
+                break
+        if not satisfied:
+            continue
+        if conclusion_position is not None:
+            value = row[conclusion_position]
+            if value is not BOTTOM and conclusion.evaluate(value):
+                continue
+        return True
+    return False
 
 
 def _chase_fd_wsd(wsd: WSD, dependency: FunctionalDependency) -> None:
@@ -299,32 +343,12 @@ def _chase_egd_uwsdt(uwsdt: UWSDT, dependency: EqualityGeneratingDependency) -> 
                 )
             continue
 
-        # Refinement: skip if a premise is certainly false or the conclusion certainly true.
-        skip = False
-        for premise in dependency.premises:
-            value = value_map[premise.attribute]
-            if not is_placeholder(value) and not premise.evaluate(value):
-                skip = True
-                break
-            if is_placeholder(value):
-                possible_values = _possible_values_uwsdt(uwsdt, relation, tuple_id, premise.attribute)
-                if possible_values and all(not premise.evaluate(v) for v in possible_values):
-                    skip = True
-                    break
-        if not skip:
-            conclusion_value = value_map[dependency.conclusion.attribute]
-            if not is_placeholder(conclusion_value):
-                if dependency.conclusion.evaluate(conclusion_value):
-                    skip = True
-            else:
-                possible_values = _possible_values_uwsdt(
-                    uwsdt, relation, tuple_id, dependency.conclusion.attribute
-                )
-                if possible_values and all(
-                    dependency.conclusion.evaluate(v) for v in possible_values
-                ):
-                    skip = True
-        if skip:
+        # Refinement: skip when no world can jointly satisfy the premises and
+        # falsify the conclusion.  The check is per component, not per
+        # attribute — two premises whose fields an earlier dependency already
+        # composed are judged against the surviving local worlds, so a
+        # conjunction that can no longer hold does not merge more components.
+        if not _egd_violation_possible_uwsdt(uwsdt, dependency, relation, tuple_id, value_map):
             continue
 
         fields = [FieldRef(relation, tuple_id, a) for a in uncertain]
@@ -345,6 +369,57 @@ def _chase_egd_uwsdt(uwsdt: UWSDT, dependency: EqualityGeneratingDependency) -> 
         if filtered is None:
             raise InconsistentWorldSetError("World-set is inconsistent.")
         uwsdt.replace_component(cid, filtered)
+
+
+def _egd_violation_possible_uwsdt(
+    uwsdt: UWSDT,
+    dependency: EqualityGeneratingDependency,
+    relation: str,
+    tuple_id: Any,
+    value_map: Dict[str, Any],
+) -> bool:
+    """Joint refinement: can some world satisfy every premise and falsify the conclusion?
+
+    Atoms over certain template values are decided directly.  Atoms over
+    placeholders are grouped by the component holding their field and each
+    group is checked against the component's local worlds.  Components are
+    independent, so a violating world exists iff every group has a witness.
+    """
+    open_premises: List[Comparison] = []
+    for premise in dependency.premises:
+        value = value_map[premise.attribute]
+        if is_placeholder(value):
+            open_premises.append(premise)
+        elif not premise.evaluate(value):
+            return False
+    conclusion = dependency.conclusion
+    conclusion_value = value_map[conclusion.attribute]
+    conclusion_cid: Optional[int] = None
+    if is_placeholder(conclusion_value):
+        conclusion_cid = uwsdt.component_of(FieldRef(relation, tuple_id, conclusion.attribute))
+    elif conclusion.evaluate(conclusion_value):
+        return False
+
+    groups: Dict[int, List[Comparison]] = {}
+    for premise in open_premises:
+        cid = uwsdt.component_of(FieldRef(relation, tuple_id, premise.attribute))
+        groups.setdefault(cid, []).append(premise)
+    if conclusion_cid is not None:
+        groups.setdefault(conclusion_cid, [])
+    for cid, atoms in groups.items():
+        component = uwsdt.components[cid]
+        positions = [
+            (atom, component.position(FieldRef(relation, tuple_id, atom.attribute)))
+            for atom in atoms
+        ]
+        conclusion_position = (
+            component.position(FieldRef(relation, tuple_id, conclusion.attribute))
+            if cid == conclusion_cid
+            else None
+        )
+        if not _egd_component_witness(component, positions, conclusion, conclusion_position):
+            return False
+    return True
 
 
 def _chase_fd_uwsdt(uwsdt: UWSDT, dependency: FunctionalDependency) -> None:

@@ -33,6 +33,14 @@ from .backends import (
     backend_for,
     index_pool_for,
 )
+from .columnar import (
+    BACKEND_ENV,
+    BACKEND_SPECS,
+    ColumnBatch,
+    ColumnarBackend,
+    insert_columnar_boundaries,
+    resolve_backend,
+)
 from .feedback import (
     DEFAULT_ALPHA,
     FeedbackResult,
@@ -45,6 +53,7 @@ from .feedback import (
 from .lower import JOIN_ALGORITHMS, lower
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .physical import (
+    Dematerialize,
     Difference,
     ExecutionResult,
     Filter,
@@ -52,6 +61,7 @@ from .physical import (
     IndexNestedLoopJoin,
     IndexScan,
     Intersection,
+    Materialize,
     PhysicalOperator,
     PhysicalPlan,
     Product,
@@ -68,6 +78,12 @@ __all__ = [
     "WSDBackend",
     "backend_for",
     "index_pool_for",
+    "BACKEND_ENV",
+    "BACKEND_SPECS",
+    "ColumnBatch",
+    "ColumnarBackend",
+    "insert_columnar_boundaries",
+    "resolve_backend",
     "DEFAULT_ALPHA",
     "FeedbackResult",
     "apply_feedback",
@@ -79,6 +95,7 @@ __all__ = [
     "lower",
     "ExecutionMetrics",
     "OperatorMetrics",
+    "Dematerialize",
     "Difference",
     "ExecutionResult",
     "Filter",
@@ -86,6 +103,7 @@ __all__ = [
     "IndexNestedLoopJoin",
     "IndexScan",
     "Intersection",
+    "Materialize",
     "PhysicalOperator",
     "PhysicalPlan",
     "Product",

@@ -1,0 +1,542 @@
+"""Columnar vectorized execution over certain (placeholder-free) subtrees.
+
+A :class:`ColumnBatch` holds the rows of a Database relation or a UWSDT
+template in parallel per-attribute arrays, plus a per-attribute placeholder
+bitmap and a row-id column carrying provenance (Database row positions,
+UWSDT template tuple ids).  Vectorized kernels implement Filter / Project /
+Rename / HashJoin / Union / Difference / Intersection column-at-a-time over
+batches — no per-operator ``Relation`` construction, no per-row hash-set
+deduplication until the batch leaves the columnar region.
+
+:class:`ColumnarBackend` wraps the engine's row backend
+(:class:`~repro.core.exec.backends.DatabaseBackend` or
+:class:`~repro.core.exec.backends.UWSDTBackend`) and adds two boundary
+operators, mirroring the Transfer-marker idea:
+
+* ``materialize``  — row handle → batch (the vectorized scan).  On a UWSDT
+  it reads ``template_rows``; if the relation turns out to carry
+  placeholders *at execution time* (the plan may be cached from before an
+  update) it passes the row handle through unchanged and the downstream
+  kernels transparently delegate to the row backend.
+* ``dematerialize`` — batch → row handle.  On a Database this registers a
+  :class:`~repro.relational.relation.Relation` (whose insert-time dedup
+  restores set semantics over the kernels' bag output); on a UWSDT it adds
+  a certain template relation, one tuple per batch row under its batch
+  row id.
+
+:func:`insert_columnar_boundaries` is the lowering pass that decides where
+the boundaries go: an operator runs columnar exactly when it has a kernel
+and every base relation under it is certain.  Everything else — Product,
+IndexNestedLoopJoin, any subtree touching a placeholder-bearing template —
+runs row-at-a-time, and mixed plans stitch the two regions together with
+explicit ``Materialize`` / ``Dematerialize`` nodes.
+
+:func:`resolve_backend` maps the user-facing backend spec (``"row"`` /
+``"columnar"`` / ``"auto"``, or the ``REPRO_BACKEND`` environment variable)
+to a concrete backend, with the auto pick deferring to the calibrated cost
+models once the calibrator has fitted the columnar constants.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...relational.errors import QueryError
+from ...relational.relation import Relation
+from ...relational.schema import RelationSchema
+from ...relational.predicates import Predicate
+from ...relational.values import is_placeholder
+from ..planner.cost import CostModel, Statistics, estimate
+from .backends import DatabaseBackend, EngineBackend, UWSDTBackend, backend_for
+from .physical import (
+    Dematerialize,
+    IndexNestedLoopJoin,
+    Materialize,
+    PhysicalOperator,
+)
+
+#: Environment variable selecting the default backend spec for ``Query.run``.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The specs ``Query.run(backend=...)`` / ``REPRO_BACKEND`` accept.
+BACKEND_SPECS = ("row", "columnar", "auto")
+
+#: Physical operators with a vectorized kernel.  ``Scan`` is deliberately
+#: absent: ``Materialize(Scan)`` *is* the vectorized scan — the batch is
+#: built straight from the stored rows / template rows.
+COLUMNAR_KERNEL_OPS = frozenset(
+    {"Filter", "Project", "Rename", "HashJoin", "Union", "Difference", "Intersection"}
+)
+
+
+class ColumnBatch:
+    """Rows decomposed into parallel per-attribute arrays.
+
+    ``columns[i][r]`` is the value of attribute ``attributes[i]`` in row
+    ``r`` — raw values, *including* the ``?`` placeholder sentinel, so a
+    round trip through :meth:`from_rows` / :meth:`to_rows` is exact.
+    ``placeholder_masks[i][r]`` flags the ``?``-bearing slots (cheap
+    uncertainty checks without value comparisons), and ``row_ids[r]``
+    carries provenance: the row's position for Database relations, the
+    template tuple id for UWSDTs, and kernel-composed pairs downstream.
+    """
+
+    __slots__ = ("attributes", "columns", "placeholder_masks", "row_ids")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        columns: Sequence[List[Any]],
+        placeholder_masks: Sequence[List[bool]],
+        row_ids: List[Any],
+    ) -> None:
+        self.attributes = tuple(attributes)
+        self.columns = tuple(columns)
+        self.placeholder_masks = tuple(placeholder_masks)
+        self.row_ids = row_ids
+
+    @classmethod
+    def from_rows(
+        cls,
+        attributes: Sequence[str],
+        rows: Sequence[Tuple[Any, ...]],
+        row_ids: Optional[List[Any]] = None,
+    ) -> "ColumnBatch":
+        attributes = tuple(attributes)
+        columns: List[List[Any]] = [[] for _ in attributes]
+        masks: List[List[bool]] = [[] for _ in attributes]
+        for row in rows:
+            for position, value in enumerate(row):
+                columns[position].append(value)
+                masks[position].append(is_placeholder(value))
+        if row_ids is None:
+            row_ids = list(range(len(columns[0]) if columns else len(rows)))
+        return cls(attributes, columns, masks, row_ids)
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows in batch order, duplicates and placeholders preserved."""
+        if not self.columns:
+            return [() for _ in self.row_ids]
+        return list(zip(*self.columns))
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def placeholder_count(self) -> int:
+        return sum(sum(mask) for mask in self.placeholder_masks)
+
+    def has_placeholders(self) -> bool:
+        return any(any(mask) for mask in self.placeholder_masks)
+
+    def position(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise QueryError(
+                f"batch has no attribute {attribute!r} (schema {self.attributes})"
+            ) from None
+
+    def gather(self, indices: Sequence[int]) -> "ColumnBatch":
+        """A new batch selecting the given row positions, in order."""
+        columns = [[column[i] for i in indices] for column in self.columns]
+        masks = [[mask[i] for i in indices] for mask in self.placeholder_masks]
+        return ColumnBatch(self.attributes, columns, masks, [self.row_ids[i] for i in indices])
+
+    def __repr__(self) -> str:
+        return f"ColumnBatch({self.attributes!r}, {len(self)} rows)"
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized kernels (bag semantics; dedup happens at dematerialize)
+# --------------------------------------------------------------------------- #
+
+
+def filter_batch(batch: ColumnBatch, predicate: Predicate) -> ColumnBatch:
+    """σ_pred: keep rows satisfying the predicate, ids preserved."""
+    referenced = predicate.attributes()
+    if not referenced:
+        schema = RelationSchema("__batch", batch.attributes)
+        rows = batch.to_rows()
+        keep = [i for i, row in enumerate(rows) if predicate.evaluate(schema, row)]
+        return batch.gather(keep)
+    positions = [batch.position(a) for a in referenced]
+    compiled = predicate.compile(RelationSchema("__batch", referenced))
+    referenced_columns = [batch.columns[p] for p in positions]
+    keep = [i for i, row in enumerate(zip(*referenced_columns)) if compiled(row)]
+    return batch.gather(keep)
+
+
+def project_batch(batch: ColumnBatch, attributes: Sequence[str]) -> ColumnBatch:
+    """π_U: reorder/drop columns; rows (and duplicates) survive until dedup."""
+    positions = [batch.position(a) for a in attributes]
+    return ColumnBatch(
+        tuple(attributes),
+        [batch.columns[p] for p in positions],
+        [batch.placeholder_masks[p] for p in positions],
+        batch.row_ids,
+    )
+
+
+def rename_batch(batch: ColumnBatch, old: str, new: str) -> ColumnBatch:
+    """δ: relabel one column; the arrays are shared, not copied."""
+    batch.position(old)  # validate
+    attributes = tuple(new if a == old else a for a in batch.attributes)
+    return ColumnBatch(attributes, batch.columns, batch.placeholder_masks, batch.row_ids)
+
+
+def union_batch(left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+    """∪ as column concatenation; side-tagged ids keep provenance distinct
+    even for a union of a batch with itself."""
+    _require_same_attributes("union", left, right)
+    columns = [lc + rc for lc, rc in zip(left.columns, right.columns)]
+    masks = [lm + rm for lm, rm in zip(left.placeholder_masks, right.placeholder_masks)]
+    row_ids = [(0, rid) for rid in left.row_ids] + [(1, rid) for rid in right.row_ids]
+    return ColumnBatch(left.attributes, columns, masks, row_ids)
+
+
+def difference_batch(left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+    """−: keep left rows whose value tuple does not occur on the right."""
+    _require_same_attributes("difference", left, right)
+    right_rows = set(right.to_rows())
+    keep = [i for i, row in enumerate(left.to_rows()) if row not in right_rows]
+    return left.gather(keep)
+
+
+def intersection_batch(left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+    """∩: keep left rows whose value tuple occurs on the right."""
+    _require_same_attributes("intersection", left, right)
+    right_rows = set(right.to_rows())
+    keep = [i for i, row in enumerate(left.to_rows()) if row in right_rows]
+    return left.gather(keep)
+
+
+def hash_join_batch(
+    left: ColumnBatch, right: ColumnBatch, left_attr: str, right_attr: str
+) -> ColumnBatch:
+    """Equi-join: build on the right key column, probe the left key column.
+
+    Output ids are ``(left id, right id)`` pairs, matching the row
+    backends' provenance convention for join results.
+    """
+    build: Dict[Any, List[int]] = {}
+    for index, value in enumerate(right.columns[right.position(right_attr)]):
+        build.setdefault(value, []).append(index)
+    left_indices: List[int] = []
+    right_indices: List[int] = []
+    for index, value in enumerate(left.columns[left.position(left_attr)]):
+        for match in build.get(value, ()):
+            left_indices.append(index)
+            right_indices.append(match)
+    columns = [[column[i] for i in left_indices] for column in left.columns]
+    columns += [[column[i] for i in right_indices] for column in right.columns]
+    masks = [[mask[i] for i in left_indices] for mask in left.placeholder_masks]
+    masks += [[mask[i] for i in right_indices] for mask in right.placeholder_masks]
+    row_ids = [
+        (left.row_ids[li], right.row_ids[ri])
+        for li, ri in zip(left_indices, right_indices)
+    ]
+    return ColumnBatch(left.attributes + right.attributes, columns, masks, row_ids)
+
+
+def _require_same_attributes(operator: str, left: ColumnBatch, right: ColumnBatch) -> None:
+    if left.attributes != right.attributes:
+        raise QueryError(
+            f"columnar {operator} requires identical attribute lists; "
+            f"got {left.attributes} and {right.attributes}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The backend
+# --------------------------------------------------------------------------- #
+
+
+class ColumnarBackend(EngineBackend):
+    """Vectorized execution wrapping the engine's row backend.
+
+    Handles are *either* :class:`ColumnBatch` objects (inside a columnar
+    region) or the inner backend's row handles (outside).  Every operator
+    method is handle-polymorphic: batch inputs run the kernel, anything
+    else delegates to the row backend — so a plan whose materialize
+    boundary fell back at runtime (placeholders appeared after planning)
+    still executes correctly, just row-at-a-time.
+    """
+
+    kind = "columnar"
+
+    def __init__(self, engine: Any) -> None:
+        super().__init__(engine)
+        inner = backend_for(engine)
+        if not isinstance(inner, (DatabaseBackend, UWSDTBackend)):
+            raise QueryError(
+                f"the columnar backend cannot wrap a {inner.kind!r} engine; "
+                "use backend='row' (WSD fields resolve through components)"
+            )
+        self.inner = inner
+        self.supports_index_scan = inner.supports_index_scan
+        self.supports_index_join = inner.supports_index_join
+        self.native_intersection = inner.native_intersection
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def begin(self, result_name: str) -> None:
+        self.inner.begin(result_name)
+
+    def finish(self, handle, result_name: str):
+        if isinstance(handle, ColumnBatch):
+            handle = self.dematerialize(handle, result_name)
+        return self.inner.finish(handle, result_name)
+
+    # -- boundaries -------------------------------------------------------- #
+
+    def certain_base(self, relation_name: str) -> bool:
+        """True iff a stored relation is placeholder-free (kernel-eligible)."""
+        if isinstance(self.inner, DatabaseBackend):
+            return True
+        return self.engine.relation_placeholder_count(relation_name) == 0
+
+    def materialize(self, handle, result_name: Optional[str]):
+        """Row handle → batch (the vectorized scan half of the boundary)."""
+        if isinstance(handle, ColumnBatch):
+            return handle
+        if isinstance(self.inner, DatabaseBackend):
+            return ColumnBatch.from_rows(handle.schema.attributes, handle.rows)
+        # UWSDT: the handle is a relation name.  A template that carries
+        # placeholders (the engine may have changed since the plan was
+        # lowered) stays a row handle; downstream operators delegate.
+        if self.engine.relation_placeholder_count(handle) != 0:
+            return handle
+        attributes = self.engine.schema.relation(handle).attributes
+        row_ids: List[Any] = []
+        rows: List[Tuple[Any, ...]] = []
+        for tid, values in self.engine.template_rows(handle):
+            row_ids.append(tid)
+            rows.append(values)
+        return ColumnBatch.from_rows(attributes, rows, row_ids)
+
+    def dematerialize(self, handle, result_name: Optional[str]):
+        """Batch → row handle the inner backend (and engine) understand."""
+        if not isinstance(handle, ColumnBatch):
+            # Runtime fallback passed a row handle straight through; honor
+            # the result naming contract the row backends implement.
+            if isinstance(self.inner, DatabaseBackend):
+                return handle
+            return self.inner.scan(handle, result_name)
+        if handle.has_placeholders():
+            raise QueryError(
+                "cannot dematerialize a placeholder-bearing batch; columnar "
+                "kernels only run over certain relations"
+            )
+        if isinstance(self.inner, DatabaseBackend):
+            name = result_name if result_name is not None else "__columnar"
+            schema = RelationSchema(name, handle.attributes)
+            relation = Relation(schema)
+            for row in handle.to_rows():
+                relation.insert(row)  # insert-time dedup restores set semantics
+            return relation
+        target = self.inner.target(result_name)
+        self.engine.add_relation(RelationSchema(target, handle.attributes))
+        seen = set()
+        for tid, values in zip(handle.row_ids, handle.to_rows()):
+            if values in seen:
+                continue  # certain duplicates denote the same tuple: set semantics
+            seen.add(values)
+            self.engine.add_template_tuple(target, tid, values)
+        return target
+
+    def _row_handle(self, handle):
+        """Coerce a batch to an inner row handle (delegation path)."""
+        if isinstance(handle, ColumnBatch):
+            return self.dematerialize(handle, None)
+        return handle
+
+    # -- operators --------------------------------------------------------- #
+
+    def scan(self, name: str, result_name: Optional[str]):
+        return self.inner.scan(name, result_name)
+
+    def index_scan(self, name: str, predicate: Predicate, result_name):
+        return self.inner.index_scan(name, predicate, result_name)
+
+    def filter(self, child, predicate: Predicate, result_name):
+        if isinstance(child, ColumnBatch):
+            return filter_batch(child, predicate)
+        return self.inner.filter(child, predicate, result_name)
+
+    def project(self, child, attributes: Sequence[str], result_name):
+        if isinstance(child, ColumnBatch):
+            return project_batch(child, attributes)
+        return self.inner.project(child, attributes, result_name)
+
+    def rename(self, child, old: str, new: str, result_name):
+        if isinstance(child, ColumnBatch):
+            return rename_batch(child, old, new)
+        return self.inner.rename(child, old, new, result_name)
+
+    def product(self, left, right, result_name):
+        return self.inner.product(self._row_handle(left), self._row_handle(right), result_name)
+
+    def union(self, left, right, result_name):
+        if isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch):
+            return union_batch(left, right)
+        return self.inner.union(self._row_handle(left), self._row_handle(right), result_name)
+
+    def difference(self, left, right, result_name):
+        if isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch):
+            return difference_batch(left, right)
+        return self.inner.difference(
+            self._row_handle(left), self._row_handle(right), result_name
+        )
+
+    def intersection(self, left, right, result_name):
+        if isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch):
+            return intersection_batch(left, right)
+        return self.inner.intersection(
+            self._row_handle(left), self._row_handle(right), result_name
+        )
+
+    def hash_join(self, left, right, left_attr: str, right_attr: str, result_name):
+        if isinstance(left, ColumnBatch) and isinstance(right, ColumnBatch):
+            return hash_join_batch(left, right, left_attr, right_attr)
+        return self.inner.hash_join(
+            self._row_handle(left), self._row_handle(right), left_attr, right_attr, result_name
+        )
+
+    def index_join(self, outer, inner_name: str, outer_attr: str, inner_attr: str, result_name):
+        return self.inner.index_join(
+            self._row_handle(outer), inner_name, outer_attr, inner_attr, result_name
+        )
+
+    # -- introspection ----------------------------------------------------- #
+
+    def row_count(self, handle) -> int:
+        if isinstance(handle, ColumnBatch):
+            return len(handle)
+        return self.inner.row_count(handle)
+
+    def arity(self, handle) -> int:
+        if isinstance(handle, ColumnBatch):
+            return handle.arity
+        return self.inner.arity(handle)
+
+    def base_rows(self, relation_name: str) -> int:
+        return self.inner.base_rows(relation_name)
+
+    def base_arity(self, relation_name: str) -> int:
+        return self.inner.base_arity(relation_name)
+
+
+# --------------------------------------------------------------------------- #
+# Boundary insertion (the lowering pass)
+# --------------------------------------------------------------------------- #
+
+
+def insert_columnar_boundaries(
+    root: PhysicalOperator, backend: EngineBackend
+) -> PhysicalOperator:
+    """Mark columnar regions and stitch them to the row world.
+
+    A node runs columnar when it has a kernel and every base relation its
+    subtree reads is certain; ``Materialize`` / ``Dematerialize`` nodes are
+    inserted wherever the produced handle kind differs from what the parent
+    consumes.  The root always hands a row handle to ``finish``.  Plans for
+    row backends pass through untouched.
+    """
+    if not isinstance(backend, ColumnarBackend):
+        return root
+    certain: Dict[str, bool] = {}
+
+    def subtree_certain(node: PhysicalOperator) -> bool:
+        names = node.base_relation_names
+        if not names:
+            return False  # hand-built plan without provenance: stay row
+        for name in names:
+            flag = certain.get(name)
+            if flag is None:
+                flag = backend.certain_base(name)
+                certain[name] = flag
+            if not flag:
+                return False
+        return True
+
+    def bridge(
+        node: PhysicalOperator, produces_batch: bool, want_batch: bool
+    ) -> PhysicalOperator:
+        if produces_batch == want_batch:
+            return node
+        boundary = Materialize(node) if want_batch else Dematerialize(node)
+        boundary.estimated_rows = node.estimated_rows
+        boundary.base_relation_names = node.base_relation_names
+        return boundary
+
+    def visit(node: PhysicalOperator, want_batch: bool) -> PhysicalOperator:
+        if isinstance(node, IndexNestedLoopJoin):
+            # The inner Scan is never executed — only the outer child may
+            # need a boundary, and both the children tuple and the node's
+            # ``outer`` reference must see it.
+            outer = visit(node.outer, False)
+            node.outer = outer
+            node.children = (outer, node.inner)
+            return bridge(node, False, want_batch)
+        runs_columnar = node.op_name in COLUMNAR_KERNEL_OPS and subtree_certain(node)
+        node.children = tuple(visit(child, runs_columnar) for child in node.children)
+        return bridge(node, runs_columnar, want_batch)
+
+    return visit(root, False)
+
+
+# --------------------------------------------------------------------------- #
+# Backend resolution
+# --------------------------------------------------------------------------- #
+
+
+def resolve_backend(
+    engine: Any,
+    spec: Optional[str] = None,
+    query: Any = None,
+    statistics: Optional[Statistics] = None,
+) -> EngineBackend:
+    """Map a backend spec to a concrete :class:`EngineBackend`.
+
+    ``spec`` is ``"row"``, ``"columnar"``, ``"auto"`` or None (meaning: the
+    ``REPRO_BACKEND`` environment variable, defaulting to ``"row"``).  An
+    already-constructed backend passes through unchanged.  WSD engines have
+    no columnar kernels, so every spec resolves to their row backend.
+    ``"auto"`` picks columnar only once the calibrator has fitted the
+    columnar constants (``source == "calibrated"``) *and* the query —
+    when one is given with statistics — is estimated cheaper under the
+    columnar model than under the row model.
+    """
+    if isinstance(spec, EngineBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "row"
+    if spec not in BACKEND_SPECS:
+        raise QueryError(f"unknown backend {spec!r}; expected one of {BACKEND_SPECS}")
+    row = backend_for(engine)
+    if spec == "row" or row.kind == "wsd":
+        return row
+    if spec == "columnar":
+        return ColumnarBackend(engine)
+    columnar_model = CostModel.for_engine("columnar")
+    if columnar_model.source != "calibrated":
+        return row  # never auto-pick on hand-tuned guesses
+    row_model = CostModel.for_engine(row.kind)
+    if query is not None and statistics is not None:
+        try:
+            columnar_cost = estimate(query, statistics, columnar_model).cost
+            row_cost = estimate(query, statistics, row_model).cost
+        except TypeError:
+            columnar_cost, row_cost = None, None
+        if columnar_cost is not None and row_cost is not None:
+            return ColumnarBackend(engine) if columnar_cost < row_cost else row
+    # No query to estimate: compare the per-tuple constants directly.
+    columnar_unit = columnar_model.select_tuple + columnar_model.join_build
+    row_unit = row_model.select_tuple + row_model.join_build
+    return ColumnarBackend(engine) if columnar_unit < row_unit else row

@@ -211,7 +211,8 @@ def apply_feedback(
                 "repro.feedback.constant_drift", engine=metrics.engine, constant=constant
             ).set(value / origin)
     models = {
-        name: CostModel.for_engine(name) for name in ("database", "wsd", "uwsdt")
+        name: CostModel.for_engine(name)
+        for name in ("database", "wsd", "uwsdt", "columnar")
     }
     models[metrics.engine] = updated
     metadata: Dict[str, object] = {
@@ -258,7 +259,10 @@ def record_into_catalog(engine, metrics: ExecutionMetrics) -> None:
 
 
 def _smoke_metrics(rows: int) -> List[ExecutionMetrics]:
-    """Run the repeated-planning benchmark query with metrics on two engines."""
+    """Run the repeated-planning benchmark query with metrics per backend:
+    the database and UWSDT row backends, plus the columnar backend over both
+    engines (its metrics carry ``engine == "columnar"`` and refine the
+    columnar cost model)."""
     from ...bench.harness import census_instance
     from ...census.queries import q_four_way_join
 
@@ -269,19 +273,42 @@ def _smoke_metrics(rows: int) -> List[ExecutionMetrics]:
     collected.append(database_run.metrics)
     uwsdt_run = query.run(instance.chased(), "result", collect_metrics=True)
     collected.append(uwsdt_run.metrics)
+    columnar_db_run = query.run(
+        instance.one_world_database(), "result", collect_metrics=True, backend="columnar"
+    )
+    collected.append(columnar_db_run.metrics)
+    columnar_uwsdt_run = query.run(
+        instance.chased(), "result", collect_metrics=True, backend="columnar"
+    )
+    collected.append(columnar_uwsdt_run.metrics)
     return collected
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ..planner.calibrate import calibrate
     from ..planner.cost import load_cost_profile, parse_cost_profile
 
     parser = argparse.ArgumentParser(
-        description="One self-tuning iteration: execute a metrics-enabled "
-        "query, fold observed operator times into the cost profile."
+        description="One calibrate-and-feedback round per backend: fit the "
+        "cost constants from microbenchmarks, execute a metrics-enabled "
+        "query on every backend, fold observed operator times into the "
+        "cost profile."
     )
     parser.add_argument("--output", default="COST_PROFILE_tuned.json")
     parser.add_argument(
+        "--columnar-output",
+        default="COST_PROFILE_columnar.json",
+        help="where to upload the calibrated+tuned profile containing the "
+        "columnar model (the artifact CI publishes)",
+    )
+    parser.add_argument(
         "--profile", default=None, help="existing profile to start from (optional)"
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip the microbenchmark calibration round (start from the "
+        "active/reference constants)",
     )
     parser.add_argument("--rows", type=int, default=200)
     parser.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
@@ -290,6 +317,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.profile:
         load_cost_profile(args.profile)
+    elif not args.no_calibrate:
+        # Calibrate every backend first so feedback refines *fitted*
+        # constants (and so the columnar model is source="calibrated",
+        # which is what lets backend="auto" consider it).
+        calibrated = calibrate(smoke=args.smoke)
+        calibrated.install()
+        for name, model in sorted(calibrated.models.items()):
+            print(
+                f"calibrated {name}: select_tuple={model.select_tuple:.4f} "
+                f"join_build={model.join_build:.4f}"
+            )
     rows = 100 if args.smoke else args.rows
 
     result = None
@@ -312,6 +350,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("ERROR: tuned profile did not round-trip through the JSON document")
         return 1
     print(f"wrote {args.output} (round-trip verified)")
+
+    if args.columnar_output:
+        result.profile.save(args.columnar_output)
+        columnar = result.profile.models.get("columnar")
+        row = result.profile.models.get("database")
+        if columnar is not None and row is not None:
+            print(
+                f"wrote {args.columnar_output} "
+                f"(columnar select_tuple {columnar.select_tuple:.4f} vs "
+                f"row {row.select_tuple:.4f}, "
+                f"join_build {columnar.join_build:.4f} vs {row.join_build:.4f})"
+            )
     return 0
 
 

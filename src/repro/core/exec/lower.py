@@ -212,4 +212,9 @@ def lower(
     with get_tracer().span("lowering", engine=backend.kind):
         lowering = _Lowering(backend, statistics, statistics.cost_model(), force_join)
         lowering.seed_estimates(query)
-        return PhysicalPlan(lowering.lower(query), backend.kind)
+        root = lowering.lower(query)
+        if backend.kind == "columnar":
+            from .columnar import insert_columnar_boundaries
+
+            root = insert_columnar_boundaries(root, backend)
+        return PhysicalPlan(root, backend.kind)

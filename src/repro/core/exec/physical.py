@@ -211,6 +211,33 @@ class Intersection(PhysicalOperator):
         super().__init__((left, right), estimated_rows)
 
 
+class Materialize(PhysicalOperator):
+    """Row handle → :class:`~repro.core.exec.columnar.ColumnBatch` boundary.
+
+    Inserted by :func:`~repro.core.exec.columnar.insert_columnar_boundaries`
+    at the edge of a columnar region; ``Materialize(Scan)`` is the
+    vectorized scan.  Only the columnar backend executes these.
+    """
+
+    op_name = "Materialize"
+
+    def __init__(
+        self, child: PhysicalOperator, estimated_rows: Optional[float] = None
+    ) -> None:
+        super().__init__((child,), estimated_rows)
+
+
+class Dematerialize(PhysicalOperator):
+    """Batch → row-handle boundary (restores set semantics on the way out)."""
+
+    op_name = "Dematerialize"
+
+    def __init__(
+        self, child: PhysicalOperator, estimated_rows: Optional[float] = None
+    ) -> None:
+        super().__init__((child,), estimated_rows)
+
+
 class HashJoin(PhysicalOperator):
     """Equi-join via an ephemeral build-and-probe hash table."""
 
@@ -367,6 +394,10 @@ class PhysicalPlan:
             handle = backend.hash_join(
                 handles[0], handles[1], node.left_attr, node.right_attr, result_name
             )
+        elif isinstance(node, Materialize):
+            handle = backend.materialize(handles[0], result_name)
+        elif isinstance(node, Dematerialize):
+            handle = backend.dematerialize(handles[0], result_name)
         else:
             raise QueryError(f"unknown physical operator {node.label()}")
         seconds = time.perf_counter() - start
@@ -401,12 +432,18 @@ class PhysicalPlan:
         # executed operator (not per tuple — constant overhead per node).
         registry = get_registry()
         registry.histogram(
-            "repro.exec.operator_seconds", LATENCY_BUCKETS, operator=node.op_name
+            "repro.exec.operator_seconds",
+            LATENCY_BUCKETS,
+            operator=node.op_name,
+            backend=backend.kind,
         ).observe(seconds)
         error = node.metrics.cardinality_error
         if error is not None:
             registry.histogram(
-                "repro.exec.operator_qerror", QERROR_BUCKETS, operator=node.op_name
+                "repro.exec.operator_qerror",
+                QERROR_BUCKETS,
+                operator=node.op_name,
+                backend=backend.kind,
             ).observe(error)
 
     # ------------------------------------------------------------------ #

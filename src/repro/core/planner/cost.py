@@ -196,12 +196,31 @@ UWSDT_COST = CostModel(
     difference_pair=15.0,
 )
 
+COLUMNAR_COST = CostModel(
+    name="columnar",
+    # The vectorized kernels move values through parallel arrays without
+    # per-operator Relation construction or per-row dedup, so every
+    # per-tuple constant sits below the classical row backend's; Product
+    # and the index nested-loop join have no kernels and run row-at-a-time
+    # (emit/index_probe stay at the Database rates).
+    select_tuple=0.25,
+    project_tuple=0.3,
+    rename_tuple=0.2,
+    union_tuple=0.4,
+    emit_tuple=1.0,
+    join_build=0.6,
+    join_probe=0.6,
+    index_probe=2.5,
+    difference_pair=0.5,
+)
+
 #: Cost models keyed by ``Statistics.engine``.
 COST_MODELS: Dict[str, CostModel] = {
     "generic": GENERIC_COST,
     "database": DATABASE_COST,
     "wsd": WSD_COST,
     "uwsdt": UWSDT_COST,
+    "columnar": COLUMNAR_COST,
 }
 
 

@@ -31,6 +31,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..core.exec.backends import backend_for
 from ..core.exec.physical import PhysicalPlan
 from ..core.planner.catalog import StatisticsCatalog, catalog_for
 from ..core.planner.planner import Plan
@@ -53,6 +54,12 @@ class CachedPlan:
     fingerprint: str
     plan: Plan
     physical: PhysicalPlan
+    #: Backend kind the physical plan was lowered for (``physical.engine``).
+    #: Part of the cache key: a row-backend plan must never be served to a
+    #: columnar request (or vice versa) — the plans differ structurally
+    #: (materialize boundaries) and ``PhysicalPlan.execute`` rejects a
+    #: backend-kind mismatch outright.
+    backend: str
     base_relations: Tuple[str, ...]
     #: Version key of every base relation at planning time; the entry is
     #: valid exactly while all of them still match.
@@ -71,10 +78,16 @@ class PlanCache:
         self.catalog: StatisticsCatalog = catalog_for(engine)
         self._lock = threading.RLock()
         self._entries: Dict[str, CachedPlan] = {}
+        #: Backend kind assumed when ``lookup``/``peek`` are called without
+        #: one — the engine's row backend, the pre-columnar behavior.
+        self._default_backend = backend_for(engine).kind
         self.hits = 0
         self.misses = 0
         #: Entries dropped because a base relation's version key moved.
         self.invalidations = 0
+
+    def _key(self, fingerprint: str, backend: Optional[str]) -> str:
+        return f"{fingerprint}@{backend or self._default_backend}"
 
     def _current_keys(self, relations: Tuple[str, ...]) -> Optional[Dict[str, Tuple[Any, ...]]]:
         try:
@@ -82,22 +95,26 @@ class PlanCache:
         except KeyError:
             return None  # a base relation was dropped: treat as invalid
 
-    def lookup(self, fingerprint: str) -> Optional[CachedPlan]:
-        """The valid cached plan for ``fingerprint``, or None.
+    def lookup(self, fingerprint: str, backend: Optional[str] = None) -> Optional[CachedPlan]:
+        """The valid cached plan for ``fingerprint`` on ``backend``, or None.
 
-        A structurally present but stale entry (any base relation's version
-        key moved) is dropped and counted as an invalidation + miss.
+        ``backend`` is the executing backend's kind (defaulting to the
+        engine's row backend) and is part of the key: a plan lowered for one
+        backend is structurally wrong for another.  A structurally present
+        but stale entry (any base relation's version key moved) is dropped
+        and counted as an invalidation + miss.
         """
         registry = get_registry()
+        key = self._key(fingerprint, backend)
         with self._lock:
-            entry = self._entries.get(fingerprint)
+            entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 registry.counter("repro.plan_cache.misses").inc()
                 return None
             current = self._current_keys(entry.base_relations)
             if current != entry.version_keys:
-                del self._entries[fingerprint]
+                del self._entries[key]
                 self.invalidations += 1
                 self.misses += 1
                 registry.counter("repro.plan_cache.misses").inc()
@@ -109,14 +126,15 @@ class PlanCache:
             registry.counter("repro.plan_cache.hits").inc()
             return entry
 
-    def peek(self, fingerprint: str) -> Optional[CachedPlan]:
+    def peek(self, fingerprint: str, backend: Optional[str] = None) -> Optional[CachedPlan]:
         """The raw entry, without validation or hit/miss accounting (telemetry
         and ``explain_analyze`` provenance; never use it to serve a plan)."""
         with self._lock:
-            return self._entries.get(fingerprint)
+            return self._entries.get(self._key(fingerprint, backend))
 
     def store(self, fingerprint: str, plan: Plan, physical: PhysicalPlan) -> CachedPlan:
-        """Cache a freshly planned + lowered query under its fingerprint."""
+        """Cache a freshly planned + lowered query under its fingerprint and
+        the backend kind the physical plan was lowered for."""
         with self._lock:
             relations = tuple(sorted(plan.original.base_relations()))
             keys = self._current_keys(relations)
@@ -124,17 +142,25 @@ class PlanCache:
                 fingerprint=fingerprint,
                 plan=plan,
                 physical=physical,
+                backend=physical.engine,
                 base_relations=relations,
                 version_keys=keys if keys is not None else {},
             )
-            self._entries[fingerprint] = entry
+            self._entries[self._key(fingerprint, physical.engine)] = entry
             return entry
 
-    def invalidate(self, fingerprint: Optional[str] = None, reason: str = "explicit") -> None:
+    def invalidate(
+        self,
+        fingerprint: Optional[str] = None,
+        reason: str = "explicit",
+        backend: Optional[str] = None,
+    ) -> None:
         """Drop one entry (or all of them when ``fingerprint`` is None).
 
-        ``reason`` labels the eviction counter (see :data:`EVICTION_REASONS`);
-        the service passes ``"replan"`` from its q-error trigger.
+        With a ``fingerprint`` but no ``backend``, every backend's plan for
+        that query is dropped.  ``reason`` labels the eviction counter (see
+        :data:`EVICTION_REASONS`); the service passes ``"replan"`` from its
+        q-error trigger.
         """
         registry = get_registry()
         with self._lock:
@@ -144,8 +170,18 @@ class PlanCache:
                         len(self._entries)
                     )
                 self._entries.clear()
-            elif self._entries.pop(fingerprint, None) is not None:
-                registry.counter("repro.plan_cache.evictions", reason=reason).inc()
+                return
+            if backend is not None:
+                keys = [self._key(fingerprint, backend)]
+            else:
+                keys = [
+                    key
+                    for key, entry in self._entries.items()
+                    if entry.fingerprint == fingerprint
+                ]
+            for key in keys:
+                if self._entries.pop(key, None) is not None:
+                    registry.counter("repro.plan_cache.evictions", reason=reason).inc()
 
     def __len__(self) -> int:
         return len(self._entries)

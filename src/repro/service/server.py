@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from ..core.exec import backend_for, lower
+from ..core.exec import lower, resolve_backend
 from ..core.exec.metrics import ExecutionMetrics
 from ..core.exec.physical import PhysicalPlan
 from ..core.planner.catalog import catalog_for
@@ -114,6 +114,10 @@ class QueryOutcome:
     physical: Optional[PhysicalPlan] = None
     #: Trace id of the request span (None with tracing disabled).
     trace_id: Optional[str] = None
+    #: Kind of the backend that executed the request (``"database"`` /
+    #: ``"wsd"`` / ``"uwsdt"`` / ``"columnar"``) — also the plan-cache
+    #: sub-key the request was served under.
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -207,11 +211,18 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     async def execute(
-        self, engine_name: str, query, result_name: Optional[str] = None
+        self, engine_name: str, query, result_name: Optional[str] = None, backend=None
     ) -> QueryOutcome:
-        """Serve one query: plan-cache lookup, execute, feed back, maybe evict."""
+        """Serve one query: plan-cache lookup, execute, feed back, maybe evict.
+
+        ``backend`` is the executing-backend spec (``"row"`` / ``"columnar"``
+        / ``"auto"`` / None for the ``REPRO_BACKEND`` environment variable).
+        The resolved backend kind is part of the plan-cache key, so a plan
+        lowered for the row backend is never served to a columnar request.
+        """
         engine = self.engines[engine_name]
         cache = plan_cache_for(engine)
+        executor = resolve_backend(engine, backend)
         fingerprint = query.fingerprint()
         name = result_name or self._next_result_name()
         tracer = get_tracer()
@@ -225,14 +236,18 @@ class QueryService:
                     "repro.service.lock_wait_seconds", LATENCY_BUCKETS
                 ).observe(waited)
                 start = time.perf_counter()
-                with tracer.span("cache-lookup"):
-                    entry = cache.lookup(fingerprint)
+                with tracer.span("cache-lookup", backend=executor.kind):
+                    entry = cache.lookup(fingerprint, executor.kind)
                 cached = entry is not None
                 if entry is None:
-                    entry = self._plan_and_cache(engine, cache, query, fingerprint)
+                    entry = self._plan_and_cache(engine, cache, query, fingerprint, executor)
                 with tracer.span("execute", cached=cached):
                     result = query.run(
-                        engine, name, physical=entry.physical, collect_metrics=True
+                        engine,
+                        name,
+                        physical=entry.physical,
+                        collect_metrics=True,
+                        backend=executor,
                     )
                 seconds = time.perf_counter() - start
                 entry.executions += 1
@@ -268,6 +283,7 @@ class QueryService:
             metrics=metrics,
             physical=result.physical,
             trace_id=trace_id,
+            backend=executor.kind,
         )
 
     def _record_if_slow(
@@ -305,10 +321,9 @@ class QueryService:
         )
 
     def _plan_and_cache(
-        self, engine: Any, cache: PlanCache, query, fingerprint: str
+        self, engine: Any, cache: PlanCache, query, fingerprint: str, backend
     ) -> CachedPlan:
         plan = query.plan(engine)
-        backend = backend_for(engine)
         physical = lower(plan.chosen, backend, plan.statistics)
         return cache.store(fingerprint, plan, physical)
 
@@ -327,7 +342,7 @@ class QueryService:
         error = metrics.max_cardinality_error()
         if error is None or error < self.replan_qerror:
             return False
-        cache.invalidate(entry.fingerprint, reason="replan")
+        cache.invalidate(entry.fingerprint, reason="replan", backend=entry.backend)
         return True
 
     # ------------------------------------------------------------------ #

@@ -68,9 +68,13 @@ class Session:
     def engine(self) -> Any:
         return self.service.engines[self.engine_name]
 
-    async def execute(self, query, result_name: Optional[str] = None):
-        """Run a query through the service, accounting it to this session."""
-        outcome = await self.service.execute(self.engine_name, query, result_name)
+    async def execute(self, query, result_name: Optional[str] = None, backend=None):
+        """Run a query through the service, accounting it to this session.
+
+        ``backend`` selects the executing backend (``"row"`` / ``"columnar"``
+        / ``"auto"``); it is part of the service's plan-cache key.
+        """
+        outcome = await self.service.execute(self.engine_name, query, result_name, backend)
         self.requests += 1
         if outcome.cached:
             self.cache_hits += 1
@@ -81,7 +85,9 @@ class Session:
         """Apply a mutation to this session's engine under the engine lock."""
         return await self.service.mutate(self.engine_name, mutator)
 
-    async def explain_analyze(self, query, result_name: Optional[str] = None) -> str:
+    async def explain_analyze(
+        self, query, result_name: Optional[str] = None, backend=None
+    ) -> str:
         """Execute ``query`` through the service and render EXPLAIN ANALYZE.
 
         The report is the executed physical plan annotated per operator with
@@ -93,10 +99,12 @@ class Session:
         id.  Estimates fed by executed-cardinality feedback (rather than
         samples) are tagged ``est←feedback``.
         """
-        outcome = await self.execute(query, result_name)
+        outcome = await self.execute(query, result_name, backend)
         catalog = catalog_for(self.engine)
         observed = frozenset(catalog.observed_view())
-        entry = self.service.plan_cache(self.engine_name).peek(outcome.fingerprint)
+        entry = self.service.plan_cache(self.engine_name).peek(
+            outcome.fingerprint, outcome.backend
+        )
         header = [
             f"fingerprint: {outcome.fingerprint}  engine: {outcome.engine}",
             "plan source: "

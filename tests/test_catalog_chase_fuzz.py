@@ -26,10 +26,16 @@ from hypothesis import strategies as st
 from repro.core import UWSDT
 from repro.core.algebra import BaseRelation
 from repro.core.chase import chase_uwsdt
+from repro.core.component import Component
+from repro.core.fields import FieldRef
 from repro.core.planner import sampling_call_count
 from repro.core.planner.catalog import catalog_for
+from repro.core.exec import backend_for, lower
+from repro.core.uwsdt import TID
 from repro.relational import InconsistentWorldSetError
 from repro.relational.predicates import AttrAttr, AttrConst
+from repro.relational.values import PLACEHOLDER
+from repro.service import plan_cache_for
 
 from _fixtures import assert_same_result_distribution, budgeted_orset_relations
 from test_planner_oracle import ORACLE_SCHEMAS, chase_dependencies
@@ -52,10 +58,47 @@ def _query_pool():
 
 
 operations = st.lists(
-    st.sampled_from(["chase", "insert", "remove", "run", "run"]),
+    st.sampled_from(
+        ["chase", "insert", "remove", "insert?", "remove?", "run", "run"]
+    ),
     min_size=1,
     max_size=5,
 )
+
+
+def remove_placeholder_row(uwsdt, relation_name):
+    """Drop one placeholder-bearing template row (with its components).
+
+    Only rows whose components are wholly confined to the row can go —
+    removing a shared component would orphan another row's placeholder.
+    Returns True if a row was removed.
+    """
+    template = uwsdt.templates[relation_name]
+    attributes = uwsdt.schema.relation(relation_name).attributes
+    tid_position = template.schema.position(TID)
+    for row in template:
+        tuple_id = row[tid_position]
+        cids = {
+            uwsdt.field_to_cid[field]
+            for field in (FieldRef(relation_name, tuple_id, a) for a in attributes)
+            if field in uwsdt.field_to_cid
+        }
+        if not cids:
+            continue
+        confined = all(
+            all(
+                f.relation == relation_name and f.tuple_id == tuple_id
+                for f in uwsdt.components[cid].fields
+            )
+            for cid in cids
+        )
+        if not confined:
+            continue
+        for cid in cids:
+            uwsdt.remove_component(cid)
+        template.remove(row)
+        return True
+    return False
 
 
 class TestCatalogChaseFuzz:
@@ -81,6 +124,20 @@ class TestCatalogChaseFuzz:
                 warm.validate()
             elif op == "insert":
                 warm.add_template_tuple("R", f"fuzz{next(counter)}", (1, 2, 3))
+            elif op == "insert?":
+                # A placeholder-bearing insert: the relation's placeholder
+                # count changes, so the catalog's composite version key
+                # (template version, placeholder count) must move.
+                tuple_id = f"fuzz?{next(counter)}"
+                certain = data.draw(st.integers(min_value=0, max_value=2))
+                warm.add_template_tuple("R", tuple_id, (certain, PLACEHOLDER, 3))
+                warm.new_component(
+                    Component.uniform(FieldRef("R", tuple_id, "A1"), (1, 2))
+                )
+                warm.validate()
+            elif op == "remove?":
+                if remove_placeholder_row(warm, "R"):
+                    warm.validate()
             elif op == "remove":
                 # Only rows with no placeholder fields can be dropped without
                 # component surgery; skip the step if none exists.
@@ -125,3 +182,83 @@ class TestCatalogChaseFuzz:
                 assert repr(replanned.chosen) == repr(warm_plan.chosen)
 
         assert executed_any_run
+
+
+class TestPlaceholderCountInvalidation:
+    """Deterministic regressions for the composite version key.
+
+    Component surgery (``new_component`` / ``remove_component``) changes a
+    relation's placeholder count without writing the template relation —
+    ``template.version`` alone would validate stale entries.  The catalog's
+    key pairs the template version with the placeholder count, so pure
+    component surgery must still move the key and invalidate both cached
+    statistics and cached plans.
+    """
+
+    @staticmethod
+    def _uncertain_uwsdt():
+        uwsdt = UWSDT.from_orset_relations(
+            [
+                _orset("R", ("A0", "A1", "A2"), [(1, (1, 2), 3), (2, 0, 1)]),
+                _orset("S", ("B0", "B1", "B2"), [(1, 2, 3)]),
+                _orset("T", ("C0", "C1", "C2"), [(1, 2, 3)]),
+            ]
+        )
+        uwsdt.validate()
+        return uwsdt
+
+    def test_component_surgery_moves_the_version_key(self):
+        uwsdt = self._uncertain_uwsdt()
+        catalog = catalog_for(uwsdt)
+        before = catalog.version_key("R")
+
+        (cid,) = {
+            cid for field, cid in uwsdt.field_to_cid.items() if field.relation == "R"
+        }
+        uwsdt.remove_component(cid)  # template untouched, count drops
+        after_removal = catalog.version_key("R")
+        assert after_removal != before
+
+        # Re-registering the component changes the count back, but the key
+        # must not revert silently to a value equal to a *template* write —
+        # it does revert to `before`, which is correct: the relation is in
+        # the same statistical state again.
+        field = FieldRef("R", 1, "A1")
+        uwsdt.new_component(Component.uniform(field, (1, 2)))
+        uwsdt.validate()
+        assert catalog.version_key("R") == before
+
+    def test_component_surgery_invalidates_catalog_entries_and_plans(self):
+        uwsdt = self._uncertain_uwsdt()
+        catalog = catalog_for(uwsdt)
+        cache = plan_cache_for(uwsdt)
+        query = BaseRelation("R").join(BaseRelation("S"), "A1", "B1")
+
+        plan = query.plan(uwsdt)
+        physical = lower(plan.chosen, backend_for(uwsdt), plan.statistics)
+        cache.store(query.fingerprint(), plan, physical)
+        assert cache.lookup(query.fingerprint()) is not None
+        _, provenance = catalog.entry("R")
+        assert provenance == "cached-sample"
+
+        (cid,) = {
+            cid for field, cid in uwsdt.field_to_cid.items() if field.relation == "R"
+        }
+        uwsdt.remove_component(cid)
+
+        # Stale on both layers, despite zero template writes.
+        assert cache.lookup(query.fingerprint()) is None
+        _, provenance = catalog.entry("R")
+        assert provenance == "fresh-sample"
+
+
+def _orset(name, attributes, rows):
+    from repro.relational import RelationSchema
+    from repro.worlds import OrSet, OrSetRelation
+
+    relation = OrSetRelation(RelationSchema(name, attributes))
+    for row in rows:
+        relation.insert(
+            tuple(OrSet(list(v)) if isinstance(v, tuple) else v for v in row)
+        )
+    return relation

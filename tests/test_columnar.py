@@ -1,0 +1,300 @@
+"""The columnar vectorized backend: batches, kernels, boundaries, auto-pick.
+
+Four layers of coverage:
+
+* :class:`~repro.core.exec.columnar.ColumnBatch` round-trips exactly —
+  rows → columns → rows preserves order, bag duplicates and placeholder
+  *identity* (the ``?`` sentinel object itself), across the oracle schemas
+  and the 50-attribute census schema (property test),
+* the backend produces the same results as the row backend on Database and
+  UWSDT engines, with the expected Materialize/Dematerialize boundaries
+  (uncertain subtrees stay row-at-a-time),
+* backend selection: the ``REPRO_BACKEND`` env var, ``"auto"`` requiring a
+  calibrated columnar model, and WSD falling back to the row backend,
+* the acceptance bar: smoke-calibrated columnar per-tuple select/join
+  constants sit below the row (database) backend's.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.census.schema import census_schema
+from repro.core import UWSDT, WSD
+from repro.core.algebra import BaseRelation
+from repro.core.exec import (
+    BACKEND_ENV,
+    ColumnarBackend,
+    ColumnBatch,
+    Dematerialize,
+    Materialize,
+    backend_for,
+    resolve_backend,
+)
+from repro.core.planner import clear_cost_profile
+from repro.core.planner.cost import CostModel
+from repro.relational import Database, Relation, RelationSchema
+from repro.relational.errors import QueryError
+from repro.relational.predicates import AttrAttr, AttrConst
+from repro.relational.values import PLACEHOLDER, is_placeholder
+from repro.worlds import OrSet, OrSetRelation
+
+from _fixtures import assert_same_result_distribution
+from test_planner_oracle import ORACLE_SCHEMAS
+
+
+@pytest.fixture(autouse=True)
+def _no_profile_leaks():
+    clear_cost_profile()
+    yield
+    clear_cost_profile()
+
+
+# --------------------------------------------------------------------------- #
+# ColumnBatch round-trip (property)
+# --------------------------------------------------------------------------- #
+
+#: Schemas the round-trip draws from: every oracle schema plus the paper's
+#: 50-attribute census relation.
+ROUND_TRIP_SCHEMAS = tuple(attrs for _, attrs in ORACLE_SCHEMAS) + (
+    tuple(census_schema().attributes),
+)
+
+_value = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.text(alphabet="abc", max_size=2),
+    st.just(None),
+    st.just(PLACEHOLDER),
+)
+
+
+@st.composite
+def _schema_and_rows(draw):
+    attributes = draw(st.sampled_from(ROUND_TRIP_SCHEMAS))
+    max_rows = 4 if len(attributes) > 10 else 8
+    row = st.tuples(*[_value for _ in attributes])
+    # Bag semantics: duplicates are deliberately allowed (unique=False).
+    rows = draw(st.lists(row, min_size=0, max_size=max_rows))
+    return attributes, rows
+
+
+class TestColumnBatchRoundTrip:
+    @given(_schema_and_rows())
+    @settings(max_examples=80, deadline=None)
+    def test_rows_to_columns_to_rows_is_exact(self, schema_and_rows):
+        attributes, rows = schema_and_rows
+        batch = ColumnBatch.from_rows(attributes, rows)
+
+        assert batch.attributes == tuple(attributes)
+        assert len(batch) == len(rows)
+        restored = batch.to_rows()
+        # Order and duplicates (bag semantics) are preserved exactly.
+        assert restored == [tuple(row) for row in rows]
+        # Placeholder *identity*: the sentinel object itself survives.
+        for row, original in zip(restored, rows):
+            for value, original_value in zip(row, original):
+                if original_value is PLACEHOLDER:
+                    assert value is PLACEHOLDER
+        # The masks agree cell-by-cell with the sentinel predicate.
+        for position, mask in enumerate(batch.placeholder_masks):
+            assert mask == [is_placeholder(row[position]) for row in rows]
+        assert batch.placeholder_count == sum(
+            1 for row in rows for value in row if is_placeholder(value)
+        )
+        # Default row ids are the row positions, in order.
+        assert batch.row_ids == list(range(len(rows)))
+
+    @given(_schema_and_rows())
+    @settings(max_examples=40, deadline=None)
+    def test_gather_preserves_values_and_ids(self, schema_and_rows):
+        attributes, rows = schema_and_rows
+        batch = ColumnBatch.from_rows(attributes, rows)
+        indices = list(range(len(rows) - 1, -1, -1))  # reversed, keeps dups
+        gathered = batch.gather(indices)
+        assert gathered.to_rows() == [tuple(rows[i]) for i in indices]
+        assert gathered.row_ids == indices
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence and boundary placement
+# --------------------------------------------------------------------------- #
+
+
+def small_database() -> Database:
+    r = Relation(RelationSchema("R", ("A", "RV")), [(i % 5, i) for i in range(40)])
+    s = Relation(RelationSchema("S", ("B", "C")), [(i % 5, i % 7) for i in range(40)])
+    t = Relation(RelationSchema("T", ("D", "TV")), [(i % 7, i) for i in range(40)])
+    return Database([r, s, t])
+
+
+def _operator_names(root):
+    names = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        names.append(node.op_name)
+        stack.extend(node.children)
+    return names
+
+
+QUERIES = (
+    BaseRelation("R").select(AttrConst("A", "=", 1)),
+    BaseRelation("R").join(BaseRelation("S"), "A", "B"),
+    BaseRelation("R").join(BaseRelation("S"), "A", "B").project(("A", "C")),
+    BaseRelation("R").rename("A", "A9").select(AttrAttr("A9", "<", "RV")),
+    BaseRelation("R").union(BaseRelation("R")),
+    BaseRelation("R")
+    .difference(BaseRelation("R").select(AttrConst("RV", ">=", 20)))
+    .intersection(BaseRelation("R")),
+    BaseRelation("S").product(BaseRelation("T")).select(AttrAttr("B", "=", "D")),
+)
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("query", QUERIES, ids=range(len(QUERIES)))
+    def test_database_results_match_row_backend(self, query):
+        database = small_database()
+        row_result = sorted(query.run(database))
+        columnar_result = sorted(query.run(database, backend="columnar"))
+        assert columnar_result == row_result
+
+    def test_uwsdt_certain_join_matches_row_backend(self):
+        def build():
+            relations = []
+            for name, attributes in ORACLE_SCHEMAS:
+                relation = OrSetRelation(RelationSchema(name, attributes))
+                relation.insert((1, OrSet([1, 2]), 3) if name == "T" else (1, 2, 3))
+                relation.insert((2, 0, 1))
+                relations.append(relation)
+            return UWSDT.from_orset_relations(relations)
+
+        # R and S are certain, T carries the or-set — the R⋈S subtree can go
+        # columnar while anything touching T must stay on the row path.
+        query = BaseRelation("R").join(BaseRelation("S"), "A1", "B1")
+        row_engine, columnar_engine = build(), build()
+        query.run(row_engine, "P")
+        query.run(columnar_engine, "P", backend="columnar")
+        columnar_engine.validate()
+        assert_same_result_distribution(row_engine.rep(), columnar_engine.rep(), "P")
+
+    def test_plan_contains_materialize_boundaries(self):
+        database = small_database()
+        # An attribute-attribute filter cannot become an IndexScan and a
+        # self-union has no index join — both lower to columnar kernels.
+        query = (
+            BaseRelation("R").select(AttrAttr("A", "<", "RV")).union(BaseRelation("R"))
+        )
+        physical = query.physical_plan(database, backend="columnar")
+        names = _operator_names(physical.root)
+        assert physical.engine == "columnar"
+        assert "Materialize" in names and "Dematerialize" in names
+        # The root is always handed back as rows.
+        assert physical.root.op_name == "Dematerialize"
+
+    def test_uncertain_subtrees_get_no_boundaries(self):
+        relation = OrSetRelation(RelationSchema("R", ("A0", "A1", "A2")))
+        relation.insert((1, OrSet([1, 2]), 3))
+        uwsdt = UWSDT.from_orset_relation(relation)
+        query = BaseRelation("R").select(AttrConst("A0", "=", 1))
+        physical = query.physical_plan(uwsdt, backend="columnar")
+        names = _operator_names(physical.root)
+        assert physical.engine == "columnar"
+        assert "Materialize" not in names and "Dematerialize" not in names
+        # The row-at-a-time fallback still executes correctly.
+        query.run(uwsdt, "P", physical=physical, backend=ColumnarBackend(uwsdt))
+        uwsdt.validate()
+
+
+# --------------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_env_var_selects_columnar(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "columnar")
+        backend = resolve_backend(small_database(), None)
+        assert isinstance(backend, ColumnarBackend)
+        assert backend.kind == "columnar"
+
+    def test_default_is_the_row_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        backend = resolve_backend(small_database(), None)
+        assert backend.kind == "database"
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_backend(small_database(), "simd")
+
+    def test_wsd_always_runs_row(self):
+        relation = OrSetRelation(RelationSchema("R", ("A0", "A1", "A2")))
+        relation.insert((1, OrSet([1, 2]), 3))
+        wsd = WSD.from_orset_relation(relation)
+        assert resolve_backend(wsd, "columnar").kind == "wsd"
+        with pytest.raises(QueryError):
+            ColumnarBackend(wsd)
+
+    def test_auto_stays_row_until_calibrated(self):
+        database = small_database()
+        assert CostModel.for_engine("columnar").source != "calibrated"
+        assert resolve_backend(database, "auto").kind == "database"
+
+    def test_auto_follows_the_calibrated_constants(self):
+        from repro.core.planner import install_cost_profile
+
+        database = small_database()
+        row_model = CostModel.for_engine("database")
+
+        faster = CostModel.from_constants(
+            "columnar",
+            {name: value / 2 for name, value in row_model.constants().items()},
+            source="calibrated",
+        )
+        install_cost_profile({"columnar": faster})
+        assert resolve_backend(database, "auto").kind == "columnar"
+
+        slower = CostModel.from_constants(
+            "columnar",
+            {name: value * 2 for name, value in row_model.constants().items()},
+            source="calibrated",
+        )
+        install_cost_profile({"columnar": slower})
+        assert resolve_backend(database, "auto").kind == "database"
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance bar: calibrated columnar constants beat the row backend's
+# --------------------------------------------------------------------------- #
+
+
+class TestCalibratedConstants:
+    def test_smoke_profile_columnar_constants_below_database(self, tmp_path):
+        """``python -m repro.core.exec --smoke`` — one calibrate-and-feedback
+        round per backend — must upload a profile whose columnar per-tuple
+        select and join constants sit below the row (database) backend's."""
+        from repro.core.exec.feedback import main
+        from repro.core.planner import parse_cost_profile
+
+        output = tmp_path / "tuned.json"
+        columnar_output = tmp_path / "COST_PROFILE_columnar.json"
+        code = main(
+            [
+                "--smoke",
+                "--output",
+                str(output),
+                "--columnar-output",
+                str(columnar_output),
+            ]
+        )
+        assert code == 0
+        assert columnar_output.exists()
+
+        import json
+
+        models = parse_cost_profile(json.loads(columnar_output.read_text()))
+        columnar, database = models["columnar"], models["database"]
+        assert columnar.source == "calibrated"
+        assert database.source == "calibrated"
+        assert columnar.select_tuple < database.select_tuple
+        assert columnar.join_build < database.join_build
+        assert columnar.join_probe < database.join_probe

@@ -14,15 +14,18 @@ keys of every touched base relation.  The contract under test:
   possible-worlds oracle on the UWSDT.
 """
 
+import asyncio
 import itertools
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import UWSDT, WSD
 from repro.core.algebra import BaseRelation
 from repro.core.chase import chase_uwsdt
-from repro.core.exec import backend_for, lower
+from repro.core.exec import ColumnarBackend, backend_for, lower
+from repro.relational.errors import QueryError
 from repro.core.planner import plan_call_count, sampling_call_count
 from repro.core.planner.catalog import catalog_for
 from repro.relational import Database, InconsistentWorldSetError, Relation, RelationSchema
@@ -174,6 +177,97 @@ class TestRepresentationEngines:
         cold_copy = wsd.copy()
         query.run(cold_copy, "P", optimize=False)
         assert_same_result_distribution(warm_copy.rep(), cold_copy.rep(), "P")
+
+
+class TestBackendKeying:
+    """The cache key includes the executing backend: a row-backend plan
+    cached for a query must never be served to a columnar request (its
+    physical tree has no Materialize/Dematerialize boundaries, so the
+    columnar backend would run it row-at-a-time — or worse, a columnar
+    tree handed to a row backend would crash on batch handles)."""
+
+    def test_cached_row_plan_is_not_served_to_a_columnar_request(self):
+        database = small_database()
+        cache = plan_cache_for(database)
+        query = BaseRelation("R").join(BaseRelation("S"), "A", "B")
+        row_entry = populate(cache, query, database)
+
+        # Same fingerprint, different backend: must miss, not serve the
+        # row plan.
+        assert cache.lookup(query.fingerprint(), "columnar") is None
+
+        plan = query.plan(database)
+        columnar_physical = lower(plan.chosen, ColumnarBackend(database), plan.statistics)
+        columnar_entry = cache.store(query.fingerprint(), plan, columnar_physical)
+
+        # Both entries coexist under the same fingerprint, keyed by backend.
+        assert columnar_entry is not row_entry
+        assert cache.lookup(query.fingerprint(), "columnar") is columnar_entry
+        assert cache.lookup(query.fingerprint()) is row_entry
+        assert row_entry.backend == "database"
+        assert columnar_entry.backend == "columnar"
+
+        # And each executes to the same rows on its own backend.
+        expected = sorted(query.run(database, optimize=False))
+        assert sorted(query.run(database, physical=row_entry.physical)) == expected
+        assert (
+            sorted(
+                query.run(
+                    database,
+                    physical=columnar_entry.physical,
+                    backend=ColumnarBackend(database),
+                )
+            )
+            == expected
+        )
+
+    def test_executing_a_plan_on_the_wrong_backend_raises(self):
+        database = small_database()
+        query = BaseRelation("R").join(BaseRelation("S"), "A", "B")
+        plan = query.plan(database)
+        columnar_physical = lower(plan.chosen, ColumnarBackend(database), plan.statistics)
+        with pytest.raises(QueryError):
+            columnar_physical.execute(backend_for(database), "mismatch")
+
+    def test_invalidate_with_backend_pops_only_that_entry(self):
+        database = small_database()
+        cache = plan_cache_for(database)
+        query = BaseRelation("R").join(BaseRelation("S"), "A", "B")
+        row_entry = populate(cache, query, database)
+        plan = query.plan(database)
+        columnar_physical = lower(plan.chosen, ColumnarBackend(database), plan.statistics)
+        cache.store(query.fingerprint(), plan, columnar_physical)
+
+        cache.invalidate(query.fingerprint(), reason="replan", backend="columnar")
+        assert cache.lookup(query.fingerprint(), "columnar") is None
+        assert cache.lookup(query.fingerprint()) is row_entry
+
+        # Fingerprint-only invalidation still sweeps every backend's entry.
+        cache.invalidate(query.fingerprint())
+        assert cache.lookup(query.fingerprint()) is None
+
+    def test_service_keys_cache_entries_by_backend(self):
+        from repro.service import QueryService
+
+        async def scenario():
+            service = QueryService()
+            service.register_engine("database", small_database())
+            session = service.session("database")
+            query = BaseRelation("R").join(BaseRelation("S"), "A", "B")
+
+            row_run = await session.execute(query)
+            columnar_run = await session.execute(query, backend="columnar")
+            # The columnar request must not hit the row entry...
+            assert not row_run.cached and not columnar_run.cached
+            assert row_run.backend == "database"
+            assert columnar_run.backend == "columnar"
+            assert sorted(row_run.value) == sorted(columnar_run.value)
+
+            # ...but each backend's own entry serves repeats.
+            assert (await session.execute(query)).cached
+            assert (await session.execute(query, backend="columnar")).cached
+
+        asyncio.run(scenario())
 
 
 operations = st.lists(

@@ -191,7 +191,7 @@ def _tree(draw, depth, counter, single_relation):
 
 @st.composite
 def chase_dependencies(draw):
-    """A random FD or single-tuple EGD over the deep-oracle relation ``R``."""
+    """A random FD or single-tuple EGD (1-2 premises) over the deep-oracle relation ``R``."""
     attrs = ORACLE_ATTRS["R"]
     if draw(st.booleans()):
         determinants = draw(
@@ -200,13 +200,24 @@ def chase_dependencies(draw):
         remaining = [a for a in attrs if a not in determinants]
         dependent = draw(st.sampled_from(remaining or list(attrs)))
         return FunctionalDependency("R", determinants, dependent)
-    premise_attr = draw(st.sampled_from(attrs))
+    premise_attrs = draw(
+        st.lists(st.sampled_from(attrs), min_size=1, max_size=2, unique=True)
+    )
+    premises = [
+        Comparison(attribute, draw(st.sampled_from(["=", "<", ">="])), draw(constants))
+        for attribute in premise_attrs
+    ]
     conclusion_attr = draw(st.sampled_from(attrs))
-    premise = Comparison(premise_attr, draw(st.sampled_from(["=", "<", ">="])), draw(constants))
     conclusion = Comparison(
         conclusion_attr, draw(st.sampled_from(["=", "!=", ">="])), draw(constants)
     )
-    return EqualityGeneratingDependency("R", [premise], conclusion)
+    return EqualityGeneratingDependency("R", premises, conclusion)
+
+
+@st.composite
+def chase_dependency_lists(draw, max_size=3):
+    """1-3 dependencies chased in sequence, so they can interact on shared components."""
+    return draw(st.lists(chase_dependencies(), min_size=1, max_size=max_size))
 
 
 # --------------------------------------------------------------------------- #
@@ -215,7 +226,8 @@ def chase_dependencies(draw):
 
 
 def assert_engines_match_reference(reference, uwsdt, wsd, query):
-    """Planned UWSDT, unplanned UWSDT and (planned) WSD must match ``reference``."""
+    """Planned UWSDT, unplanned UWSDT and (planned) WSD must match ``reference``
+    — and both UWSDT paths again under the columnar vectorized backend."""
     planned = uwsdt.copy()
     query.run(planned, "P", optimize=True)
     planned.validate()
@@ -229,6 +241,16 @@ def assert_engines_match_reference(reference, uwsdt, wsd, query):
     wsd_copy = wsd.copy()
     query.run(wsd_copy, "P", optimize=True)
     assert_same_result_distribution(wsd_copy.rep(), reference, "P")
+
+    columnar_planned = uwsdt.copy()
+    query.run(columnar_planned, "P", optimize=True, backend="columnar")
+    columnar_planned.validate()
+    assert_same_result_distribution(columnar_planned.rep(), reference, "P")
+
+    columnar_unplanned = uwsdt.copy()
+    query.run(columnar_unplanned, "P", optimize=False, backend="columnar")
+    columnar_unplanned.validate()
+    assert_same_result_distribution(columnar_unplanned.rep(), reference, "P")
 
 
 def check_against_oracle(orset_relation, query):
@@ -314,21 +336,77 @@ class TestCorrelatedComponentOracle:
 
     @given(
         budgeted_orset_relations(ORACLE_SCHEMAS, max_rows=2, uncertain_budget=4),
-        chase_dependencies(),
+        chase_dependency_lists(),
         deep_query_trees(min_depth=2, max_depth=3),
     )
     @settings(max_examples=60, deadline=None)
-    def test_chased_instances_match_brute_force(self, relations, dependency, query):
+    def test_chased_instances_match_brute_force(self, relations, dependencies, query):
         base_wsd = WSD.from_orset_relations(relations)
         try:
-            cleaned = naive.clean(base_wsd.rep(), [dependency])
+            cleaned = naive.clean(base_wsd.rep(), dependencies)
         except InconsistentWorldSetError:
             assume(False)
         reference = naive.evaluate_query(cleaned, query, "P")
-        chased_uwsdt = chase_uwsdt(UWSDT.from_orset_relations(relations), [dependency])
+        chased_uwsdt = chase_uwsdt(UWSDT.from_orset_relations(relations), dependencies)
         chased_uwsdt.validate()
-        chased_wsd = chase_wsd(WSD.from_orset_relations(relations), [dependency])
+        chased_wsd = chase_wsd(WSD.from_orset_relations(relations), dependencies)
         assert_engines_match_reference(reference, chased_uwsdt, chased_wsd, query)
+
+    def test_interacting_egds_keep_independent_component_unmerged(self):
+        """Regression: two interacting EGDs used to produce a wrong merged component.
+
+        The first two EGDs force ``A0 != A1``, leaving their merged component
+        with the local worlds ``{(0, 1), (1, 0)}``.  The third EGD's premises
+        ``A0 = 0 ∧ A1 = 0`` are then *jointly* unsatisfiable, but the old
+        per-attribute refinement judged each premise in isolation, saw both as
+        still possible, and composed ``A2``'s component in as well — a
+        spuriously correlated three-field component.  ``A2`` must stay in its
+        own singleton component and the distribution must match brute force.
+        """
+        relation = OrSetRelation.from_dicts(
+            "R",
+            ["A0", "A1", "A2"],
+            [{"A0": OrSet([0, 1]), "A1": OrSet([0, 1]), "A2": OrSet([0, 1])}],
+        )
+        dependencies = [
+            EqualityGeneratingDependency(
+                "R", [Comparison("A0", "=", 0)], Comparison("A1", "!=", 0)
+            ),
+            EqualityGeneratingDependency(
+                "R", [Comparison("A0", "=", 1)], Comparison("A1", "!=", 1)
+            ),
+            EqualityGeneratingDependency(
+                "R",
+                [Comparison("A0", "=", 0), Comparison("A1", "=", 0)],
+                Comparison("A2", "=", 1),
+            ),
+        ]
+
+        def attribute_sets(components):
+            return sorted(
+                tuple(sorted(field.attribute for field in component.fields))
+                for component in components
+            )
+
+        chased = chase_uwsdt(UWSDT.from_orset_relation(relation), dependencies)
+        chased.validate()
+        assert attribute_sets(chased.components.values()) == [("A0", "A1"), ("A2",)]
+        pair = next(
+            component
+            for component in chased.components.values()
+            if len(component.fields) == 2
+        )
+        assert sorted(
+            tuple(row[pair.position(field)] for field in sorted(pair.fields, key=lambda f: f.attribute))
+            for row in pair.rows
+        ) == [(0, 1), (1, 0)]
+
+        chased_wsd = chase_wsd(WSD.from_orset_relation(relation), dependencies)
+        assert ("A2",) in attribute_sets(chased_wsd.components)
+
+        cleaned = naive.clean(WSD.from_orset_relation(relation).rep(), dependencies)
+        assert_same_result_distribution(chased.rep(), cleaned, "R")
+        assert_same_result_distribution(chased_wsd.rep(), cleaned, "R")
 
     def test_multi_template_component_join_matches_brute_force(self):
         """Deterministic: the chase *must* produce a cross-tuple component here,
