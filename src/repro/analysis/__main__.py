@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro.analysis --lint``.
+
+Runs the repo-specific AST lint of :mod:`repro.analysis.lint` over the
+``repro`` package, compares the findings against the checked-in baseline,
+optionally writes the CI report artifact, and exits non-zero only when
+*new* (non-baselined) violations exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .lint import (
+    DEFAULT_BASELINE,
+    build_report,
+    default_root,
+    load_baseline,
+    run_lint,
+    split_by_baseline,
+    write_baseline,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis utilities for the repro codebase.",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the repo-specific AST lint rules",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline of accepted violations (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a JSON report (the LINT_report.json CI artifact) here",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings as the new baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.lint:
+        parser.print_help()
+        return 2
+
+    root = args.root if args.root is not None else default_root()
+    violations = run_lint(root)
+    baseline = load_baseline(args.baseline)
+    new, known = split_by_baseline(violations, baseline)
+
+    if args.report is not None:
+        args.report.write_text(
+            json.dumps(build_report(violations, baseline), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {args.report}")
+
+    if args.update_baseline:
+        path = write_baseline(violations, args.baseline)
+        print(f"baseline updated: {len(violations)} accepted violations -> {path}")
+        return 0
+
+    for violation in known:
+        print(f"baselined: {violation.render()}")
+    for violation in new:
+        print(f"NEW: {violation.render()}")
+    print(
+        f"lint: {len(violations)} findings "
+        f"({len(new)} new, {len(known)} baselined)"
+    )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

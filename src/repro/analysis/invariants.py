@@ -1,0 +1,402 @@
+"""The plan-invariant verifier: rewrites and lowered plans, checked.
+
+Two families of invariants, both enabled by ``REPRO_VERIFY_PLANS=1`` (the
+tier-1 suite and the possible-worlds oracle turn the flag on globally, so
+every rewrite-rule application and every lowering in every test is
+checked):
+
+* **Rewrites are schema-preserving.**  After every successful rule firing
+  the planner compares the inferred output attribute list of the tree
+  before and after the rewrite (via
+  :func:`~repro.analysis.schema.inferred_attributes`).  A rule that
+  changes the output schema is a planner bug, reported with the rule name,
+  both trees and both schemas.
+
+* **Physical plans are well-formed.**  After lowering, the physical tree
+  is checked for: attribute resolution through every operator (the same
+  checks as the logical analyzer), hash-join/INLJ key compatibility,
+  ``IndexScan`` only where the backend can probe an index (hashable
+  equality predicate over a stored relation), ``Materialize`` /
+  ``Dematerialize`` properly paired (batch regions open with Materialize,
+  close with Dematerialize, contain only vectorized-kernel operators, and
+  sit over provably-certain subtrees), and the plan's engine kind matching
+  the backend that will execute it.  The plan cache re-checks kind
+  consistency when serving entries.
+
+Violations raise :class:`PlanInvariantError`.  Verification is off by
+default in library use (zero overhead beyond one truthiness check); tests
+and the CI suite run with it on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from ..relational.errors import QueryError
+from ..core.exec.physical import (
+    Dematerialize,
+    Difference,
+    Filter,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    Intersection,
+    Materialize,
+    PhysicalOperator,
+    PhysicalPlan,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Union,
+)
+from .schema import SchemaContext, inferred_attributes
+
+#: Environment variable that switches verification on (``1``/``true``/...).
+VERIFY_ENV = "REPRO_VERIFY_PLANS"
+
+#: Operators allowed inside a columnar batch region (must mirror
+#: ``repro.core.exec.columnar.COLUMNAR_KERNEL_OPS``).
+KERNEL_OPS = frozenset(
+    {"Filter", "Project", "Rename", "HashJoin", "Union", "Difference", "Intersection"}
+)
+
+_OVERRIDE: Optional[bool] = None
+_REWRITES_VERIFIED = 0
+_PLANS_VERIFIED = 0
+
+
+class PlanInvariantError(QueryError):
+    """A rewrite or a lowered plan violated a planner invariant."""
+
+
+def set_verification(enabled: Optional[bool]) -> Optional[bool]:
+    """Force verification on/off for this process (None restores the env
+    variable's say); returns the previous override, for restoring."""
+    global _OVERRIDE
+    previous = _OVERRIDE
+    _OVERRIDE = enabled
+    return previous
+
+
+def verification_enabled() -> bool:
+    """Whether plan verification is active (override, else ``REPRO_VERIFY_PLANS``)."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    value = os.environ.get(VERIFY_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def rewrites_verified() -> int:
+    """Rewrite applications checked so far in this process (test probe)."""
+    return _REWRITES_VERIFIED
+
+
+def plans_verified() -> int:
+    """Physical plans checked so far in this process (test probe)."""
+    return _PLANS_VERIFIED
+
+
+# --------------------------------------------------------------------------- #
+# Rewrite verification
+# --------------------------------------------------------------------------- #
+
+
+def verify_rewrite(
+    rule_name: str,
+    phase: str,
+    before: Any,
+    after: Any,
+    schema_context: Optional[SchemaContext] = None,
+) -> None:
+    """Assert one rule firing preserved the subtree's output schema.
+
+    Comparison is on the *ordered* attribute list — a rule that permutes
+    columns changes query results and is just as wrong as one that drops
+    them.  Either side inferring to None (unknown base schema) skips the
+    check: absence of information is not a violation.
+    """
+    global _REWRITES_VERIFIED
+    _REWRITES_VERIFIED += 1
+    before_attrs = inferred_attributes(before, schema_context)
+    after_attrs = inferred_attributes(after, schema_context)
+    if before_attrs is None or after_attrs is None:
+        return
+    if tuple(before_attrs) != tuple(after_attrs):
+        raise PlanInvariantError(
+            f"rewrite rule {rule_name!r} (phase {phase!r}) is not "
+            f"schema-preserving:\n"
+            f"  before {tuple(before_attrs)!r}:\n{before.to_text('    ')}\n"
+            f"  after  {tuple(after_attrs)!r}:\n{after.to_text('    ')}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Physical plan verification
+# --------------------------------------------------------------------------- #
+
+
+def _fail(plan: PhysicalPlan, node: PhysicalOperator, reason: str) -> None:
+    raise PlanInvariantError(
+        f"malformed physical plan: {reason}\n"
+        f"  at operator: {node.label()}\n{plan.explain()}"
+    )
+
+
+def _hashable_equality(predicate: Any) -> bool:
+    from ..relational.predicates import AttrConst
+
+    if not isinstance(predicate, AttrConst) or predicate.op not in ("=", "=="):
+        return False
+    try:
+        hash(predicate.constant)
+    except TypeError:
+        return False
+    return True
+
+
+def verify_physical(
+    plan: PhysicalPlan,
+    backend: Any = None,
+    schema_context: Optional[SchemaContext] = None,
+    certain_base: Optional[Callable[[str], bool]] = None,
+) -> None:
+    """Check a lowered plan's structural well-formedness.
+
+    ``backend`` (optional) contributes capability checks — engine-kind
+    match, index support; ``schema_context`` contributes attribute
+    resolution; ``certain_base`` (optional, the columnar backend's probe)
+    lets the verifier confirm Materialize only sits over certain subtrees.
+    Any information not supplied simply disables the checks that need it.
+    """
+    global _PLANS_VERIFIED
+    _PLANS_VERIFIED += 1
+    context = schema_context or SchemaContext.empty()
+
+    if backend is not None and backend.kind != plan.engine:
+        raise PlanInvariantError(
+            f"plan lowered for engine kind {plan.engine!r} paired with a "
+            f"{backend.kind!r} backend"
+        )
+    columnar_plan = plan.engine == "columnar"
+
+    def visit(node: PhysicalOperator) -> Tuple[Optional[Tuple[str, ...]], str]:
+        """Returns ``(attributes or None, handle kind)`` for the subtree;
+        ``kind`` is ``"row"`` or ``"batch"``."""
+        if isinstance(node, (Materialize, Dematerialize)) and not columnar_plan:
+            _fail(
+                plan,
+                node,
+                f"{node.op_name} in a {plan.engine!r} plan — boundaries belong "
+                "to columnar plans only",
+            )
+        if isinstance(node, Scan):
+            return context.relation_attributes(node.relation), "row"
+        if isinstance(node, IndexScan):
+            if backend is not None and not backend.supports_index_scan:
+                _fail(plan, node, "IndexScan on a backend without index support")
+            if not _hashable_equality(node.predicate):
+                _fail(
+                    plan,
+                    node,
+                    f"IndexScan predicate {node.predicate!r} is not a hashable "
+                    "equality — no index can serve it",
+                )
+            attrs = context.relation_attributes(node.relation)
+            if attrs is not None:
+                for attribute in node.predicate.attributes():
+                    if attribute not in attrs:
+                        _fail(
+                            plan,
+                            node,
+                            f"IndexScan predicate references {attribute!r}, not an "
+                            f"attribute of {node.relation!r} {tuple(attrs)!r}",
+                        )
+            return attrs, "row"
+        if isinstance(node, IndexNestedLoopJoin):
+            if not isinstance(node.inner, Scan):
+                _fail(
+                    plan,
+                    node,
+                    "IndexNestedLoopJoin inner input must be a base-relation Scan",
+                )
+            if backend is not None and not backend.supports_index_join:
+                _fail(
+                    plan, node, "IndexNestedLoopJoin on a backend without index joins"
+                )
+            outer_attrs, outer_kind = visit(node.outer)
+            if outer_kind != "row":
+                _fail(plan, node, "IndexNestedLoopJoin outer input must be a row handle")
+            inner_attrs = context.relation_attributes(node.inner.relation)
+            if outer_attrs is not None and node.left_attr not in outer_attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"join key {node.left_attr!r} not produced by the outer input "
+                    f"{tuple(outer_attrs)!r}",
+                )
+            if inner_attrs is not None and node.right_attr not in inner_attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"join key {node.right_attr!r} not an attribute of "
+                    f"{node.inner.relation!r} {tuple(inner_attrs)!r}",
+                )
+            if outer_attrs is None or inner_attrs is None:
+                return None, "row"
+            return outer_attrs + inner_attrs, "row"
+        if isinstance(node, Materialize):
+            child_attrs, child_kind = visit(node.children[0])
+            if child_kind != "row":
+                _fail(plan, node, "Materialize over a batch handle (double boundary)")
+            if certain_base is not None and node.base_relation_names:
+                for name in node.base_relation_names:
+                    if not certain_base(name):
+                        _fail(
+                            plan,
+                            node,
+                            f"Materialize over subtree reading uncertain relation "
+                            f"{name!r} — kernels only run over certain subtrees",
+                        )
+            return child_attrs, "batch"
+        if isinstance(node, Dematerialize):
+            child_attrs, child_kind = visit(node.children[0])
+            if child_kind != "batch":
+                _fail(plan, node, "Dematerialize over a row handle (unpaired boundary)")
+            return child_attrs, "row"
+
+        results = [visit(child) for child in node.children]
+        kinds = {kind for _, kind in results}
+        if len(kinds) > 1:
+            _fail(plan, node, f"{node.op_name} mixes batch and row inputs")
+        kind = kinds.pop() if kinds else "row"
+        if kind == "batch" and node.op_name not in KERNEL_OPS:
+            _fail(
+                plan,
+                node,
+                f"{node.op_name} consumes a batch but has no vectorized kernel",
+            )
+
+        if isinstance(node, Filter):
+            attrs = results[0][0]
+            if attrs is not None:
+                for attribute in node.predicate.attributes():
+                    if attribute not in attrs:
+                        _fail(
+                            plan,
+                            node,
+                            f"filter predicate references {attribute!r}, not in the "
+                            f"input schema {tuple(attrs)!r}",
+                        )
+            return attrs, kind
+        if isinstance(node, Project):
+            attrs = results[0][0]
+            if attrs is not None:
+                for attribute in node.attributes:
+                    if attribute not in attrs:
+                        _fail(
+                            plan,
+                            node,
+                            f"projection references {attribute!r}, not in the input "
+                            f"schema {tuple(attrs)!r}",
+                        )
+            return tuple(node.attributes), kind
+        if isinstance(node, Rename):
+            attrs = results[0][0]
+            if attrs is None:
+                return None, kind
+            if node.old not in attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"rename of {node.old!r}, not in the input schema {tuple(attrs)!r}",
+                )
+            if node.new != node.old and node.new in attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"rename {node.old!r}→{node.new!r} collides with an existing "
+                    f"attribute in {tuple(attrs)!r}",
+                )
+            return tuple(node.new if a == node.old else a for a in attrs), kind
+        if isinstance(node, HashJoin):
+            left_attrs, right_attrs = results[0][0], results[1][0]
+            if left_attrs is not None and node.left_attr not in left_attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"join key {node.left_attr!r} not produced by the left input "
+                    f"{tuple(left_attrs)!r}",
+                )
+            if right_attrs is not None and node.right_attr not in right_attrs:
+                _fail(
+                    plan,
+                    node,
+                    f"join key {node.right_attr!r} not produced by the right input "
+                    f"{tuple(right_attrs)!r}",
+                )
+            if left_attrs is None or right_attrs is None:
+                return None, kind
+            return left_attrs + right_attrs, kind
+        if isinstance(node, Product):
+            left_attrs, right_attrs = results[0][0], results[1][0]
+            if left_attrs is not None and right_attrs is not None:
+                overlap = set(left_attrs) & set(right_attrs)
+                if overlap:
+                    _fail(
+                        plan,
+                        node,
+                        f"product sides share attributes {sorted(overlap)!r}",
+                    )
+                return left_attrs + right_attrs, kind
+            return None, kind
+        if isinstance(node, (Union, Difference, Intersection)):
+            left_attrs, right_attrs = results[0][0], results[1][0]
+            if left_attrs is not None and right_attrs is not None:
+                if tuple(left_attrs) != tuple(right_attrs):
+                    _fail(
+                        plan,
+                        node,
+                        f"{node.op_name} inputs are not union-compatible: "
+                        f"{tuple(left_attrs)!r} vs {tuple(right_attrs)!r}",
+                    )
+            return (
+                left_attrs if left_attrs is not None else right_attrs,
+                kind,
+            )
+        # Unknown / future operator kinds: nothing to check structurally.
+        return None, kind
+
+    _, root_kind = visit(plan.root)
+    if root_kind != "row":
+        raise PlanInvariantError(
+            "physical plan root produces a batch handle — the final "
+            f"Dematerialize boundary is missing\n{plan.explain()}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Plan-cache backend-kind consistency
+# --------------------------------------------------------------------------- #
+
+
+def verify_cached_backend(
+    entry_backend: str, physical_engine: str, valid_kinds: Sequence[str]
+) -> None:
+    """Assert a plan-cache entry's recorded backend kind is coherent.
+
+    The entry's ``backend`` must equal the engine kind its physical plan was
+    lowered for, and that kind must be one the owning engine can execute
+    (its row backend kind, or ``columnar``).
+    """
+    if entry_backend != physical_engine:
+        raise PlanInvariantError(
+            f"plan-cache entry records backend {entry_backend!r} but its "
+            f"physical plan was lowered for {physical_engine!r}"
+        )
+    if entry_backend not in valid_kinds:
+        raise PlanInvariantError(
+            f"plan-cache entry backend {entry_backend!r} is not executable "
+            f"by this engine (valid kinds: {tuple(valid_kinds)!r})"
+        )

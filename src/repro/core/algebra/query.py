@@ -19,7 +19,7 @@ with the input are preserved) and returns the name of the result relation.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Sequence, Tuple
 
 from ...relational import algebra as relational_algebra
 from ...relational.database import Database
@@ -30,6 +30,11 @@ from ...relational.relation import Relation
 from ..uwsdt import UWSDT
 from ..wsd import WSD
 from . import uwsdt_ops, wsd_ops
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..exec.backends import EngineBackend
+    from ..exec.physical import PhysicalPlan
+    from ..planner.planner import Plan
 
 
 class Query:
@@ -47,13 +52,19 @@ class Query:
         return Product(self, other)
 
     def union(self, other: "Query") -> "Union":
-        return Union(self, other)
+        node = Union(self, other)
+        _check_set_operation("∪", self, other, node)
+        return node
 
     def difference(self, other: "Query") -> "Difference":
-        return Difference(self, other)
+        node = Difference(self, other)
+        _check_set_operation("−", self, other, node)
+        return node
 
     def intersection(self, other: "Query") -> "Intersection":
-        return Intersection(self, other)
+        node = Intersection(self, other)
+        _check_set_operation("∩", self, other, node)
+        return node
 
     def rename(self, old: str, new: str) -> "Rename":
         return Rename(self, old, new)
@@ -127,7 +138,7 @@ class Query:
 
     # -- planned evaluation ------------------------------------------------ #
 
-    def plan(self, engine=None, statistics=None):
+    def plan(self, engine: Optional[Any] = None, statistics: Optional[Any] = None) -> "Plan":
         """Build a :class:`~repro.core.planner.Plan` for this query.
 
         ``engine`` may be a Database, WSD or UWSDT: statistics are served
@@ -146,7 +157,14 @@ class Query:
             )
         return build_plan(self, statistics)
 
-    def _lowered(self, engine, optimize: bool, plan, force_join=None, backend=None):
+    def _lowered(
+        self,
+        engine: Any,
+        optimize: bool,
+        plan: Optional["Plan"],
+        force_join: Optional[str] = None,
+        backend: Any = None,
+    ) -> "Tuple[EngineBackend, PhysicalPlan]":
         """Resolve the executable tree and lower it for ``engine``'s backend.
 
         ``backend`` is the user-facing spec (``"row"`` / ``"columnar"`` /
@@ -171,8 +189,13 @@ class Query:
         return resolved, lower(executable, resolved, statistics, force_join=force_join)
 
     def physical_plan(
-        self, engine, optimize: bool = True, plan=None, force_join=None, backend=None
-    ):
+        self,
+        engine: Any,
+        optimize: bool = True,
+        plan: Optional["Plan"] = None,
+        force_join: Optional[str] = None,
+        backend: Any = None,
+    ) -> "PhysicalPlan":
         """The :class:`~repro.core.exec.PhysicalPlan` this query would run.
 
         ``physical_plan(engine).explain()`` shows the chosen physical
@@ -184,15 +207,15 @@ class Query:
 
     def run(
         self,
-        engine,
+        engine: Any,
         result_name: str = "result",
         optimize: bool = True,
-        plan=None,
+        plan: Optional["Plan"] = None,
         collect_metrics: bool = False,
-        force_join=None,
-        physical=None,
-        backend=None,
-    ):
+        force_join: Optional[str] = None,
+        physical: Optional["PhysicalPlan"] = None,
+        backend: Any = None,
+    ) -> Any:
         """Evaluate this query on any of the three engines.
 
         * on a :class:`~repro.relational.database.Database` — returns the
@@ -246,7 +269,7 @@ class Query:
         return value
 
     def explain_analyze(
-        self, engine, result_name: str = "__explain", optimize: bool = True
+        self, engine: Any, result_name: str = "__explain", optimize: bool = True
     ) -> str:
         """Run this query with metrics and render its EXPLAIN ANALYZE report.
 
@@ -265,12 +288,17 @@ class Query:
         )
         observed = frozenset(plan.statistics.observed) if plan is not None else frozenset()
         header = []
+        certainty = None
         if plan is not None:
             model = plan.statistics.cost_model()
             header.append(f"cost model: {model.name} ({model.source} constants)")
             if plan.join_order is not None:
                 header.append(f"join order: {plan.join_order}")
-        return result.physical.explain_analyze(observed, header)
+            if plan.statistics.placeholder_densities:
+                from ...analysis.certainty import CertaintyContext
+
+                certainty = CertaintyContext.from_statistics(plan.statistics)
+        return result.physical.explain_analyze(observed, header, certainty)
 
 
 class BaseRelation(Query):
@@ -438,6 +466,21 @@ class Join(Query):
 
     def __repr__(self) -> str:
         return f"({self.left!r} ⋈[{self.left_attr}={self.right_attr}] {self.right!r})"
+
+
+def _check_set_operation(operator: str, left: Query, right: Query, node: Query) -> None:
+    """Eagerly reject structurally incompatible set operations.
+
+    Called from the ``union``/``difference``/``intersection`` combinators —
+    deliberately *not* from the constructors, so the planner's
+    ``with_children`` rebuilds never re-validate mid-rewrite.  Raises
+    :class:`~repro.analysis.schema.AnalysisError` (a ``SchemaError``) with
+    both operand schemas when the attribute lists provably differ.
+    """
+    # Lazy import: repro.analysis depends on this module.
+    from ...analysis.schema import check_set_operation
+
+    check_set_operation(operator, left, right, node)
 
 
 # --------------------------------------------------------------------------- #

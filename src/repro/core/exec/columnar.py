@@ -309,8 +309,14 @@ class ColumnarBackend(EngineBackend):
             return ColumnBatch.from_rows(handle.schema.attributes, handle.rows)
         # UWSDT: the handle is a relation name.  A template that carries
         # placeholders (the engine may have changed since the plan was
-        # lowered) stays a row handle; downstream operators delegate.
+        # lowered) stays a row handle; downstream operators delegate.  The
+        # static certainty analysis already kept uncertain subtrees in the
+        # row world, so this fallback firing means a stale cached plan —
+        # counted so the drift is observable.
         if self.engine.relation_placeholder_count(handle) != 0:
+            from ...obs.metrics import get_registry
+
+            get_registry().counter("repro.columnar.materialize_fallbacks").inc()
             return handle
         attributes = self.engine.schema.relation(handle).attributes
         row_ids: List[Any] = []
@@ -450,20 +456,18 @@ def insert_columnar_boundaries(
     """
     if not isinstance(backend, ColumnarBackend):
         return root
-    certain: Dict[str, bool] = {}
+    # Eligibility is decided by the reusable certainty dataflow of
+    # repro.analysis — a context over the backend's live probe (memoized:
+    # one engine query per relation).  The runtime materialize fallback
+    # below is only defense-in-depth against plans cached before an engine
+    # mutation.
+    from ...analysis.certainty import CertaintyContext
+    from ...analysis.certainty import subtree_certain as certain_sources
+
+    certainty = CertaintyContext.from_probe(backend.certain_base)
 
     def subtree_certain(node: PhysicalOperator) -> bool:
-        names = node.base_relation_names
-        if not names:
-            return False  # hand-built plan without provenance: stay row
-        for name in names:
-            flag = certain.get(name)
-            if flag is None:
-                flag = backend.certain_base(name)
-                certain[name] = flag
-            if not flag:
-                return False
-        return True
+        return certain_sources(node.base_relation_names, certainty)
 
     def bridge(
         node: PhysicalOperator, produces_batch: bool, want_batch: bool

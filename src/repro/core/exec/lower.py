@@ -217,4 +217,19 @@ def lower(
             from .columnar import insert_columnar_boundaries
 
             root = insert_columnar_boundaries(root, backend)
-        return PhysicalPlan(root, backend.kind)
+        physical = PhysicalPlan(root, backend.kind)
+        from ...analysis import invariants
+
+        if invariants.verification_enabled():
+            from ...analysis.schema import SchemaContext
+
+            certain_base = None
+            if backend.kind == "columnar":
+                certain_base = backend.certain_base
+            invariants.verify_physical(
+                physical,
+                backend=backend,
+                schema_context=SchemaContext.from_statistics(statistics),
+                certain_base=certain_base,
+            )
+        return physical

@@ -19,7 +19,7 @@ next to the chosen operators.
 from __future__ import annotations
 
 import time
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
 from ...obs.metrics import LATENCY_BUCKETS, QERROR_BUCKETS, get_registry
 from ...obs.trace import get_tracer
@@ -299,7 +299,7 @@ class ExecutionResult:
     result relation's name on a WSD/UWSDT.
     """
 
-    def __init__(self, value, metrics: ExecutionMetrics, physical: "PhysicalPlan") -> None:
+    def __init__(self, value: Any, metrics: ExecutionMetrics, physical: "PhysicalPlan") -> None:
         self.value = value
         self.metrics = metrics
         self.physical = physical
@@ -322,7 +322,7 @@ class PhysicalPlan:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, backend, result_name: str = "result"):
+    def execute(self, backend: Any, result_name: str = "result") -> Any:
         """Run the plan against ``backend``; returns the backend's result
         (the result :class:`~repro.relational.relation.Relation` on a
         Database, the result relation's *name* on a WSD/UWSDT)."""
@@ -335,7 +335,7 @@ class PhysicalPlan:
         handle = self._execute(self.root, backend, result_name)
         return backend.finish(handle, result_name)
 
-    def _execute(self, node: PhysicalOperator, backend, result_name: Optional[str]):
+    def _execute(self, node: PhysicalOperator, backend: Any, result_name: Optional[str]) -> Any:
         tracer = get_tracer()
         if not tracer.enabled:
             # Strict fast path: one attribute check, no span objects.
@@ -353,7 +353,7 @@ class PhysicalPlan:
                 )
         return handle
 
-    def _execute_node(self, node: PhysicalOperator, backend, result_name: Optional[str]):
+    def _execute_node(self, node: PhysicalOperator, backend: Any, result_name: Optional[str]) -> Any:
         if isinstance(node, IndexNestedLoopJoin):
             # The inner Scan is never executed: the backend probes the
             # engine's cached index over the stored relation directly.
@@ -410,8 +410,8 @@ class PhysicalPlan:
     def _record(
         self,
         node: PhysicalOperator,
-        backend,
-        handle,
+        backend: Any,
+        handle: Any,
         rows_in: Tuple[int, ...],
         arity_in: Tuple[int, ...],
         seconds: float,
@@ -484,6 +484,7 @@ class PhysicalPlan:
         self,
         observed_keys: FrozenSet[str] = frozenset(),
         header_lines: Sequence[str] = (),
+        certainty: Optional[Any] = None,
     ) -> str:
         """The executed plan, annotated per node with estimated vs actual
         rows, q-error, self vs cumulative time, and per-child input rows.
@@ -492,6 +493,8 @@ class PhysicalPlan:
         came from executed-cardinality feedback rather than samples — nodes
         lowered from those subtrees are tagged ``est←feedback``.  Must run
         after :meth:`execute`; unexecuted nodes render without actuals.
+        ``certainty`` (a :class:`~repro.analysis.certainty.CertaintyContext`)
+        additionally tags each node with its placeholder-certainty verdict.
         """
         header = f"EXPLAIN ANALYZE ({self.engine})"
         lines = [header, "=" * len(header)]
@@ -505,7 +508,7 @@ class PhysicalPlan:
         if worst is not None:
             summary += f"; worst q-error {worst:.2f}"
         lines.append(summary)
-        lines.extend(self._render_analyze(self.root, "", "", observed_keys))
+        lines.extend(self._render_analyze(self.root, "", "", observed_keys, certainty))
         return "\n".join(lines)
 
     def _render_analyze(
@@ -514,6 +517,7 @@ class PhysicalPlan:
         prefix: str,
         child_prefix: str,
         observed_keys: FrozenSet[str],
+        certainty: Optional[Any] = None,
     ) -> List[str]:
         annotations: List[str] = []
         if node.estimated_rows is not None:
@@ -536,6 +540,12 @@ class PhysicalPlan:
             annotations.append(f"cum {self.cumulative_seconds(node) * 1e3:.3f} ms")
         elif node.op_name == "Scan":
             annotations.append("not executed (index probe target)")
+        if certainty is not None:
+            from ...analysis.certainty import UNKNOWN, physical_certainty
+
+            verdict = physical_certainty(node.base_relation_names, certainty)
+            if verdict != UNKNOWN:
+                annotations.append(verdict)
         suffix = f"  [{' | '.join(annotations)}]" if annotations else ""
         lines = [f"{prefix}{node.label()}{suffix}"]
         for index, child in enumerate(node.children):
@@ -544,7 +554,8 @@ class PhysicalPlan:
             extend = "    " if last else "│   "
             lines.extend(
                 self._render_analyze(
-                    child, child_prefix + branch, child_prefix + extend, observed_keys
+                    child, child_prefix + branch, child_prefix + extend, observed_keys,
+                    certainty,
                 )
             )
         return lines

@@ -334,7 +334,8 @@ class StatisticsCatalog:
                 self._entries.pop(name, None)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------ #
     # The Statistics view
@@ -395,8 +396,10 @@ class StatisticsCatalog:
             )
 
     def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._entries)
         return (
-            f"StatisticsCatalog({self.kind}, {len(self._entries)} entries, "
+            f"StatisticsCatalog({self.kind}, {count} entries, "
             f"{self.hits} hits / {self.misses} misses)"
         )
 

@@ -182,7 +182,7 @@ class Plan:
             lines.append(f"join order: {order}")
         lines.append(f"chosen   : {'rewritten' if self.improved else 'original'}")
         lines.append("chosen tree:")
-        lines.append(self.chosen.to_text("  "))
+        lines.append(self._render_chosen_tree())
         if self.applications:
             lines.append("rewrites :")
             for application in self.applications:
@@ -192,6 +192,20 @@ class Plan:
         else:
             lines.append("rewrites : (none applied)")
         return "\n".join(lines)
+
+    def _render_chosen_tree(self) -> str:
+        """The chosen tree, certainty-annotated when statistics allow.
+
+        Each node carrying placeholder-density information is suffixed with
+        its :mod:`~repro.analysis.certainty` verdict (``[certain]`` /
+        ``[maybe]``); without densities this is plain ``to_text``.
+        """
+        from ...analysis.certainty import CertaintyContext, render_with_certainty
+
+        if not self.statistics.placeholder_densities:
+            return self.chosen.to_text("  ")
+        context = CertaintyContext.from_statistics(self.statistics)
+        return render_with_certainty(self.chosen, context, "  ")
 
     def __repr__(self) -> str:
         return (
@@ -232,9 +246,28 @@ def _apply_once(
     for rule in rules:
         rewritten = rule.apply(query, context)
         if rewritten is not None:
+            _verify_rule_output(rule.name, phase, query, rewritten, context)
             trace.append(RuleApplication(phase, rule.name, repr(query), repr(rewritten)))
             return rewritten, True
     return query, changed
+
+
+def _verify_rule_output(
+    rule_name: str, phase: str, before: Query, after: Query, context: RewriteContext
+) -> None:
+    """Check a rewrite-rule output is schema-preserving (REPRO_VERIFY_PLANS).
+
+    A no-op unless plan verification is enabled; a rule that changes the
+    inferred output schema raises
+    :class:`~repro.analysis.invariants.PlanInvariantError` naming the rule
+    and showing both trees.
+    """
+    from ...analysis import invariants
+
+    if invariants.verification_enabled():
+        invariants.verify_rewrite(
+            rule_name, phase, before, after, context.schema_context
+        )
 
 
 def rewrite(
@@ -258,6 +291,7 @@ def rewrite(
         for rule in tree_rules:
             rewritten = rule.apply(current, context)
             if rewritten is not None:
+                _verify_rule_output(rule.name, phase_name, current, rewritten, context)
                 recorded.append(
                     RuleApplication(phase_name, rule.name, repr(current), repr(rewritten))
                 )
@@ -286,6 +320,13 @@ def plan(
     statistics = statistics or Statistics()
     with get_tracer().span("plan", engine=statistics.engine):
         context = RewriteContext(statistics)
+        # Strict static analysis before any rewriting: unknown attributes,
+        # duplicate attributes, set-operation mismatches and predicate type
+        # errors are rejected here with a rendered tree pointing at the
+        # offending node, instead of surfacing mid-execution.
+        from ...analysis.schema import analyze
+
+        analyze(query, context.schema_context)
         trace: List[RuleApplication] = []
         with get_tracer().span("rewrite"):
             optimized = rewrite(query, context, phases, trace)

@@ -55,10 +55,25 @@ class RewriteContext:
 
     def __init__(self, statistics: Optional[Statistics] = None) -> None:
         self.statistics = statistics or Statistics()
+        self._schema_context = None
 
     def attributes_of(self, query: Query) -> Optional[Tuple[str, ...]]:
         """Output attributes of a subquery, or None if a base schema is unknown."""
         return output_attributes(query, self.statistics)
+
+    @property
+    def schema_context(self):
+        """Lazily built :class:`~repro.analysis.schema.SchemaContext`.
+
+        Shared by the plan-time analyzer and the rewrite verifier so base
+        relation types are derived from the reservoir samples exactly once
+        per planning run.
+        """
+        if self._schema_context is None:
+            from ...analysis.schema import SchemaContext
+
+            self._schema_context = SchemaContext.from_statistics(self.statistics)
+        return self._schema_context
 
 
 # --------------------------------------------------------------------------- #

@@ -124,6 +124,17 @@ class PlanCache:
                 return None
             self.hits += 1
             registry.counter("repro.plan_cache.hits").inc()
+            from ..analysis import invariants
+
+            if invariants.verification_enabled():
+                # A served entry's recorded backend kind must match the
+                # engine kind its physical plan was lowered for, and be one
+                # this engine can execute.
+                invariants.verify_cached_backend(
+                    entry.backend,
+                    entry.physical.engine,
+                    (self._default_backend, "columnar"),
+                )
             return entry
 
     def peek(self, fingerprint: str, backend: Optional[str] = None) -> Optional[CachedPlan]:
@@ -135,6 +146,12 @@ class PlanCache:
     def store(self, fingerprint: str, plan: Plan, physical: PhysicalPlan) -> CachedPlan:
         """Cache a freshly planned + lowered query under its fingerprint and
         the backend kind the physical plan was lowered for."""
+        from ..analysis import invariants
+
+        if invariants.verification_enabled():
+            invariants.verify_cached_backend(
+                physical.engine, physical.engine, (self._default_backend, "columnar")
+            )
         with self._lock:
             relations = tuple(sorted(plan.original.base_relations()))
             keys = self._current_keys(relations)
@@ -184,11 +201,14 @@ class PlanCache:
                     registry.counter("repro.plan_cache.evictions", reason=reason).inc()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._entries)
         return (
-            f"PlanCache({len(self._entries)} plans, {self.hits} hits / "
+            f"PlanCache({count} plans, {self.hits} hits / "
             f"{self.misses} misses, {self.invalidations} invalidations)"
         )
 

@@ -7,6 +7,14 @@ with ``benchmarks/conftest.py``.
 
 from __future__ import annotations
 
+import os
+
+# The whole tier-1 suite runs with plan verification on: every rewrite-rule
+# output is checked schema-preserving and every lowered physical plan is
+# checked well-formed (see repro.analysis.invariants).  An explicit setting
+# from the environment wins.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
 import pytest
 
 from repro.relational import Relation, RelationSchema
