@@ -14,6 +14,20 @@ from repro.bench import PAPER_DENSITIES
 
 from _bench_config import base_rows, max_rows, size_sweep  # noqa: F401
 
+#: Where a benchmark run lands its JSON when ``--benchmark-json`` is not
+#: given — the default smoke run seeds the trajectory instead of leaving it
+#: empty.
+DEFAULT_BENCHMARK_JSON = "BENCH_smoke.json"
+
+
+def pytest_configure(config) -> None:
+    # ``--benchmark-json`` is declared with type=FileType("wb"), so the
+    # default has to be injected as an open handle.  The sentinel default
+    # keeps this a no-op when pytest-benchmark is not installed (the option
+    # attribute is absent) or when the caller chose a path.
+    if getattr(config.option, "benchmark_json", "absent") is None:
+        config.option.benchmark_json = open(DEFAULT_BENCHMARK_JSON, "wb")
+
 
 @pytest.fixture(scope="session")
 def densities() -> tuple:

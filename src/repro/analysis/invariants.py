@@ -37,7 +37,9 @@ from ..relational.errors import QueryError
 from ..core.exec.physical import (
     Dematerialize,
     Difference,
+    Exchange,
     Filter,
+    Gather,
     HashJoin,
     IndexNestedLoopJoin,
     IndexScan,
@@ -61,6 +63,12 @@ VERIFY_ENV = "REPRO_VERIFY_PLANS"
 KERNEL_OPS = frozenset(
     {"Filter", "Project", "Rename", "HashJoin", "Union", "Difference", "Intersection"}
 )
+
+#: Operators allowed inside an ``Exchange`` shard subtree (must mirror
+#: ``repro.core.exec.shard.SHARDABLE_OPS``): per-tuple operators only —
+#: anything that merges components across distinct base tuples must run
+#: above the Gather, on the merged engine.
+SHARDABLE_OPS = frozenset({"Scan", "IndexScan", "Filter", "Project", "Rename"})
 
 _OVERRIDE: Optional[bool] = None
 _REWRITES_VERIFIED = 0
@@ -180,6 +188,7 @@ def verify_physical(
             f"{backend.kind!r} backend"
         )
     columnar_plan = plan.engine == "columnar"
+    sharded_plan = plan.engine == "sharded"
 
     def visit(node: PhysicalOperator) -> Tuple[Optional[Tuple[str, ...]], str]:
         """Returns ``(attributes or None, handle kind)`` for the subtree;
@@ -191,6 +200,31 @@ def verify_physical(
                 f"{node.op_name} in a {plan.engine!r} plan — boundaries belong "
                 "to columnar plans only",
             )
+        if isinstance(node, (Exchange, Gather)) and not sharded_plan:
+            _fail(
+                plan,
+                node,
+                f"{node.op_name} in a {plan.engine!r} plan — shard boundaries "
+                "belong to sharded plans only",
+            )
+        if isinstance(node, Gather):
+            exchange = node.children[0]
+            if not isinstance(exchange, Exchange):
+                _fail(plan, node, "Gather must sit directly over an Exchange")
+            for inner in exchange.children[0].walk():
+                if inner.op_name not in SHARDABLE_OPS:
+                    _fail(
+                        plan,
+                        node,
+                        f"{inner.op_name} inside an Exchange subtree — only "
+                        "per-tuple (component-confined) operators may shard",
+                    )
+            attrs, kind = visit(exchange.children[0])
+            if kind != "row":
+                _fail(plan, node, "Exchange subtree must produce a row handle")
+            return attrs, "row"
+        if isinstance(node, Exchange):
+            _fail(plan, node, "Exchange without an enclosing Gather")
         if isinstance(node, Scan):
             return context.relation_attributes(node.relation), "row"
         if isinstance(node, IndexScan):

@@ -164,12 +164,15 @@ class Query:
         plan: Optional["Plan"],
         force_join: Optional[str] = None,
         backend: Any = None,
+        workers: Optional[int] = None,
     ) -> "Tuple[EngineBackend, PhysicalPlan]":
         """Resolve the executable tree and lower it for ``engine``'s backend.
 
         ``backend`` is the user-facing spec (``"row"`` / ``"columnar"`` /
-        ``"auto"`` / None for the ``REPRO_BACKEND`` environment variable, or
-        an already-constructed :class:`~repro.core.exec.EngineBackend`).
+        ``"sharded"`` / ``"auto"`` / None for the ``REPRO_BACKEND``
+        environment variable, or an already-constructed
+        :class:`~repro.core.exec.EngineBackend`).  ``workers`` sizes the
+        sharded backend's worker pool (and lets ``"auto"`` consider it).
         """
         from ..exec import backend_for, lower, resolve_backend
         from ..planner import Statistics
@@ -181,7 +184,9 @@ class Query:
             executable, statistics = plan.chosen, plan.statistics
         else:
             executable, statistics = self, None
-        resolved = resolve_backend(engine, backend, query=executable, statistics=statistics)
+        resolved = resolve_backend(
+            engine, backend, query=executable, statistics=statistics, workers=workers
+        )
         if statistics is None:
             # Verbatim execution: no sampling, but the backend's cost model
             # still drives structural physical choices.
@@ -195,6 +200,7 @@ class Query:
         plan: Optional["Plan"] = None,
         force_join: Optional[str] = None,
         backend: Any = None,
+        workers: Optional[int] = None,
     ) -> "PhysicalPlan":
         """The :class:`~repro.core.exec.PhysicalPlan` this query would run.
 
@@ -202,7 +208,7 @@ class Query:
         operators (index scans, hash vs index-nested-loop joins) without
         executing anything.
         """
-        _, physical = self._lowered(engine, optimize, plan, force_join, backend)
+        _, physical = self._lowered(engine, optimize, plan, force_join, backend, workers)
         return physical
 
     def run(
@@ -215,6 +221,7 @@ class Query:
         force_join: Optional[str] = None,
         physical: Optional["PhysicalPlan"] = None,
         backend: Any = None,
+        workers: Optional[int] = None,
     ) -> Any:
         """Evaluate this query on any of the three engines.
 
@@ -249,16 +256,20 @@ class Query:
         ``backend`` selects the executing backend: ``"row"`` (the engine's
         classical row-at-a-time backend), ``"columnar"`` (vectorized kernels
         over certain subtrees, see :mod:`repro.core.exec.columnar`),
+        ``"sharded"`` (component-partitioned parallel execution across a
+        worker pool sized by ``workers``, see :mod:`repro.core.exec.shard`),
         ``"auto"`` (cost-based pick once the calibrator has fitted the
-        columnar constants), or None to honor the ``REPRO_BACKEND``
+        columnar/shard constants), or None to honor the ``REPRO_BACKEND``
         environment variable (default ``"row"``).
         """
         if physical is not None:
             from ..exec import resolve_backend
 
-            backend = resolve_backend(engine, backend)
+            backend = resolve_backend(engine, backend, workers=workers)
         else:
-            backend, physical = self._lowered(engine, optimize, plan, force_join, backend)
+            backend, physical = self._lowered(
+                engine, optimize, plan, force_join, backend, workers
+            )
         value = physical.execute(backend, result_name)
         if collect_metrics:
             from ..exec import ExecutionResult, record_into_catalog
@@ -269,7 +280,12 @@ class Query:
         return value
 
     def explain_analyze(
-        self, engine: Any, result_name: str = "__explain", optimize: bool = True
+        self,
+        engine: Any,
+        result_name: str = "__explain",
+        optimize: bool = True,
+        backend: Any = None,
+        workers: Optional[int] = None,
     ) -> str:
         """Run this query with metrics and render its EXPLAIN ANALYZE report.
 
@@ -284,7 +300,13 @@ class Query:
         """
         plan = self.plan(engine) if optimize else None
         result = self.run(
-            engine, result_name, optimize=optimize, plan=plan, collect_metrics=True
+            engine,
+            result_name,
+            optimize=optimize,
+            plan=plan,
+            collect_metrics=True,
+            backend=backend,
+            workers=workers,
         )
         observed = frozenset(plan.statistics.observed) if plan is not None else frozenset()
         header = []

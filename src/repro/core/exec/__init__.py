@@ -36,6 +36,7 @@ from .backends import (
 from .columnar import (
     BACKEND_ENV,
     BACKEND_SPECS,
+    SHARD_WORKERS_ENV,
     ColumnBatch,
     ColumnarBackend,
     insert_columnar_boundaries,
@@ -55,8 +56,10 @@ from .metrics import ExecutionMetrics, OperatorMetrics
 from .physical import (
     Dematerialize,
     Difference,
+    Exchange,
     ExecutionResult,
     Filter,
+    Gather,
     HashJoin,
     IndexNestedLoopJoin,
     IndexScan,
@@ -70,6 +73,14 @@ from .physical import (
     Scan,
     Union,
 )
+from .shard import (
+    DEFAULT_WORKERS,
+    SHARDABLE_OPS,
+    ShardedBackend,
+    insert_shard_boundaries,
+    partition_uwsdt_components,
+    reset_shard_pool,
+)
 
 __all__ = [
     "DatabaseBackend",
@@ -80,10 +91,17 @@ __all__ = [
     "index_pool_for",
     "BACKEND_ENV",
     "BACKEND_SPECS",
+    "SHARD_WORKERS_ENV",
     "ColumnBatch",
     "ColumnarBackend",
     "insert_columnar_boundaries",
     "resolve_backend",
+    "DEFAULT_WORKERS",
+    "SHARDABLE_OPS",
+    "ShardedBackend",
+    "insert_shard_boundaries",
+    "partition_uwsdt_components",
+    "reset_shard_pool",
     "DEFAULT_ALPHA",
     "FeedbackResult",
     "apply_feedback",
@@ -97,8 +115,10 @@ __all__ = [
     "OperatorMetrics",
     "Dematerialize",
     "Difference",
+    "Exchange",
     "ExecutionResult",
     "Filter",
+    "Gather",
     "HashJoin",
     "IndexNestedLoopJoin",
     "IndexScan",

@@ -217,6 +217,10 @@ def lower(
             from .columnar import insert_columnar_boundaries
 
             root = insert_columnar_boundaries(root, backend)
+        elif backend.kind == "sharded":
+            from .shard import insert_shard_boundaries
+
+            root = insert_shard_boundaries(root, backend)
         physical = PhysicalPlan(root, backend.kind)
         from ...analysis import invariants
 

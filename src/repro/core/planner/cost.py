@@ -106,6 +106,14 @@ class CostModel:
     #: but the inner side pays nothing, so small-outer/large-inner joins win.
     index_probe: float = 3.0
     difference_pair: float = 1.0
+    #: Parallelism constants (the sharded backend's Exchange/Gather
+    #: boundary): fixed per-shard setup (partitioning + pool dispatch),
+    #: per-row serialization onto the worker pipe, and per-row merge back
+    #: into the parent engine.  Unused by single-process engines; their
+    #: defaults keep old profiles parsing unchanged.
+    shard_setup: float = 50.0
+    shard_ship_tuple: float = 0.5
+    shard_merge_tuple: float = 1.0
     #: ``"hand-tuned"`` for the built-in defaults, ``"calibrated"`` for
     #: constants fitted by :mod:`~repro.core.planner.calibrate`.
     source: str = "hand-tuned"
@@ -121,6 +129,9 @@ class CostModel:
         "join_probe",
         "index_probe",
         "difference_pair",
+        "shard_setup",
+        "shard_ship_tuple",
+        "shard_merge_tuple",
     )
 
     def constants(self) -> Dict[str, float]:
@@ -214,6 +225,27 @@ COLUMNAR_COST = CostModel(
     difference_pair=0.5,
 )
 
+SHARDED_COST = CostModel(
+    name="sharded",
+    # Inside each worker the subtree runs on the plain row backend, so the
+    # per-tuple operator constants mirror the UWSDT model; what is specific
+    # to this model are the parallelism constants — per-shard setup, per-row
+    # serialization, per-row merge — which resolve_backend's wall-clock
+    # comparison uses to decide whether fanning out pays for itself.
+    select_tuple=1.0,
+    project_tuple=1.5,
+    rename_tuple=1.8,
+    union_tuple=1.2,
+    emit_tuple=2.5,
+    join_build=1.0,
+    join_probe=1.0,
+    index_probe=2.5,
+    difference_pair=15.0,
+    shard_setup=50.0,
+    shard_ship_tuple=0.5,
+    shard_merge_tuple=1.0,
+)
+
 #: Cost models keyed by ``Statistics.engine``.
 COST_MODELS: Dict[str, CostModel] = {
     "generic": GENERIC_COST,
@@ -221,6 +253,7 @@ COST_MODELS: Dict[str, CostModel] = {
     "wsd": WSD_COST,
     "uwsdt": UWSDT_COST,
     "columnar": COLUMNAR_COST,
+    "sharded": SHARDED_COST,
 }
 
 

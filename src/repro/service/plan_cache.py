@@ -60,6 +60,11 @@ class CachedPlan:
     #: (materialize boundaries) and ``PhysicalPlan.execute`` rejects a
     #: backend-kind mismatch outright.
     backend: str
+    #: Worker count a sharded plan was lowered for (0 for in-process
+    #: backends).  Part of the cache key: a sharded plan's Exchange nodes
+    #: bake in the shard fan-out, so plans for different worker counts are
+    #: distinct entries.
+    workers: int
     base_relations: Tuple[str, ...]
     #: Version key of every base relation at planning time; the entry is
     #: valid exactly while all of them still match.
@@ -86,8 +91,10 @@ class PlanCache:
         #: Entries dropped because a base relation's version key moved.
         self.invalidations = 0
 
-    def _key(self, fingerprint: str, backend: Optional[str]) -> str:
-        return f"{fingerprint}@{backend or self._default_backend}"
+    def _key(
+        self, fingerprint: str, backend: Optional[str], workers: Optional[int] = None
+    ) -> str:
+        return f"{fingerprint}@{backend or self._default_backend}@{workers or 0}"
 
     def _current_keys(self, relations: Tuple[str, ...]) -> Optional[Dict[str, Tuple[Any, ...]]]:
         try:
@@ -95,17 +102,23 @@ class PlanCache:
         except KeyError:
             return None  # a base relation was dropped: treat as invalid
 
-    def lookup(self, fingerprint: str, backend: Optional[str] = None) -> Optional[CachedPlan]:
+    def lookup(
+        self,
+        fingerprint: str,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> Optional[CachedPlan]:
         """The valid cached plan for ``fingerprint`` on ``backend``, or None.
 
         ``backend`` is the executing backend's kind (defaulting to the
         engine's row backend) and is part of the key: a plan lowered for one
-        backend is structurally wrong for another.  A structurally present
-        but stale entry (any base relation's version key moved) is dropped
-        and counted as an invalidation + miss.
+        backend is structurally wrong for another.  ``workers`` further
+        scopes sharded plans (the Exchange fan-out is baked into the plan).
+        A structurally present but stale entry (any base relation's version
+        key moved) is dropped and counted as an invalidation + miss.
         """
         registry = get_registry()
-        key = self._key(fingerprint, backend)
+        key = self._key(fingerprint, backend, workers)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -133,24 +146,38 @@ class PlanCache:
                 invariants.verify_cached_backend(
                     entry.backend,
                     entry.physical.engine,
-                    (self._default_backend, "columnar"),
+                    (self._default_backend, "columnar", "sharded"),
                 )
             return entry
 
-    def peek(self, fingerprint: str, backend: Optional[str] = None) -> Optional[CachedPlan]:
+    def peek(
+        self,
+        fingerprint: str,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> Optional[CachedPlan]:
         """The raw entry, without validation or hit/miss accounting (telemetry
         and ``explain_analyze`` provenance; never use it to serve a plan)."""
         with self._lock:
-            return self._entries.get(self._key(fingerprint, backend))
+            return self._entries.get(self._key(fingerprint, backend, workers))
 
-    def store(self, fingerprint: str, plan: Plan, physical: PhysicalPlan) -> CachedPlan:
-        """Cache a freshly planned + lowered query under its fingerprint and
-        the backend kind the physical plan was lowered for."""
+    def store(
+        self,
+        fingerprint: str,
+        plan: Plan,
+        physical: PhysicalPlan,
+        workers: Optional[int] = None,
+    ) -> CachedPlan:
+        """Cache a freshly planned + lowered query under its fingerprint, the
+        backend kind the physical plan was lowered for, and (for sharded
+        plans) the worker count the Exchange fan-out was sized for."""
         from ..analysis import invariants
 
         if invariants.verification_enabled():
             invariants.verify_cached_backend(
-                physical.engine, physical.engine, (self._default_backend, "columnar")
+                physical.engine,
+                physical.engine,
+                (self._default_backend, "columnar", "sharded"),
             )
         with self._lock:
             relations = tuple(sorted(plan.original.base_relations()))
@@ -160,10 +187,11 @@ class PlanCache:
                 plan=plan,
                 physical=physical,
                 backend=physical.engine,
+                workers=workers or 0,
                 base_relations=relations,
                 version_keys=keys if keys is not None else {},
             )
-            self._entries[self._key(fingerprint, physical.engine)] = entry
+            self._entries[self._key(fingerprint, physical.engine, workers)] = entry
             return entry
 
     def invalidate(
@@ -171,13 +199,14 @@ class PlanCache:
         fingerprint: Optional[str] = None,
         reason: str = "explicit",
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         """Drop one entry (or all of them when ``fingerprint`` is None).
 
         With a ``fingerprint`` but no ``backend``, every backend's plan for
-        that query is dropped.  ``reason`` labels the eviction counter (see
-        :data:`EVICTION_REASONS`); the service passes ``"replan"`` from its
-        q-error trigger.
+        that query is dropped (whatever its worker count).  ``reason``
+        labels the eviction counter (see :data:`EVICTION_REASONS`); the
+        service passes ``"replan"`` from its q-error trigger.
         """
         registry = get_registry()
         with self._lock:
@@ -189,7 +218,7 @@ class PlanCache:
                 self._entries.clear()
                 return
             if backend is not None:
-                keys = [self._key(fingerprint, backend)]
+                keys = [self._key(fingerprint, backend, workers)]
             else:
                 keys = [
                     key

@@ -115,9 +115,12 @@ class QueryOutcome:
     #: Trace id of the request span (None with tracing disabled).
     trace_id: Optional[str] = None
     #: Kind of the backend that executed the request (``"database"`` /
-    #: ``"wsd"`` / ``"uwsdt"`` / ``"columnar"``) — also the plan-cache
-    #: sub-key the request was served under.
+    #: ``"wsd"`` / ``"uwsdt"`` / ``"columnar"`` / ``"sharded"``) — also the
+    #: plan-cache sub-key the request was served under.
     backend: Optional[str] = None
+    #: Worker count of a sharded request (None for in-process backends) —
+    #: the remaining plan-cache sub-key.
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -211,18 +214,27 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     async def execute(
-        self, engine_name: str, query, result_name: Optional[str] = None, backend=None
+        self,
+        engine_name: str,
+        query,
+        result_name: Optional[str] = None,
+        backend=None,
+        workers: Optional[int] = None,
     ) -> QueryOutcome:
         """Serve one query: plan-cache lookup, execute, feed back, maybe evict.
 
         ``backend`` is the executing-backend spec (``"row"`` / ``"columnar"``
-        / ``"auto"`` / None for the ``REPRO_BACKEND`` environment variable).
-        The resolved backend kind is part of the plan-cache key, so a plan
-        lowered for the row backend is never served to a columnar request.
+        / ``"sharded"`` / ``"auto"`` / None for the ``REPRO_BACKEND``
+        environment variable); ``workers`` sizes the sharded backend's pool.
+        The resolved backend kind *and* worker count are part of the
+        plan-cache key, so a plan lowered for the row backend is never
+        served to a columnar request, and a sharded plan's Exchange fan-out
+        is never reused at a different worker count.
         """
         engine = self.engines[engine_name]
         cache = plan_cache_for(engine)
-        executor = resolve_backend(engine, backend)
+        executor = resolve_backend(engine, backend, workers=workers)
+        worker_count = getattr(executor, "workers", None)
         fingerprint = query.fingerprint()
         name = result_name or self._next_result_name()
         tracer = get_tracer()
@@ -237,10 +249,12 @@ class QueryService:
                 ).observe(waited)
                 start = time.perf_counter()
                 with tracer.span("cache-lookup", backend=executor.kind):
-                    entry = cache.lookup(fingerprint, executor.kind)
+                    entry = cache.lookup(fingerprint, executor.kind, worker_count)
                 cached = entry is not None
                 if entry is None:
-                    entry = self._plan_and_cache(engine, cache, query, fingerprint, executor)
+                    entry = self._plan_and_cache(
+                        engine, cache, query, fingerprint, executor, worker_count
+                    )
                 with tracer.span("execute", cached=cached):
                     result = query.run(
                         engine,
@@ -284,6 +298,7 @@ class QueryService:
             physical=result.physical,
             trace_id=trace_id,
             backend=executor.kind,
+            workers=worker_count,
         )
 
     def _record_if_slow(
@@ -321,11 +336,17 @@ class QueryService:
         )
 
     def _plan_and_cache(
-        self, engine: Any, cache: PlanCache, query, fingerprint: str, backend
+        self,
+        engine: Any,
+        cache: PlanCache,
+        query,
+        fingerprint: str,
+        backend,
+        workers: Optional[int] = None,
     ) -> CachedPlan:
         plan = query.plan(engine)
         physical = lower(plan.chosen, backend, plan.statistics)
-        return cache.store(fingerprint, plan, physical)
+        return cache.store(fingerprint, plan, physical, workers=workers)
 
     def _maybe_evict(
         self, cache: PlanCache, entry: CachedPlan, metrics: ExecutionMetrics
@@ -342,7 +363,9 @@ class QueryService:
         error = metrics.max_cardinality_error()
         if error is None or error < self.replan_qerror:
             return False
-        cache.invalidate(entry.fingerprint, reason="replan", backend=entry.backend)
+        cache.invalidate(
+            entry.fingerprint, reason="replan", backend=entry.backend, workers=entry.workers
+        )
         return True
 
     # ------------------------------------------------------------------ #

@@ -68,13 +68,18 @@ class Session:
     def engine(self) -> Any:
         return self.service.engines[self.engine_name]
 
-    async def execute(self, query, result_name: Optional[str] = None, backend=None):
+    async def execute(
+        self, query, result_name: Optional[str] = None, backend=None, workers=None
+    ):
         """Run a query through the service, accounting it to this session.
 
         ``backend`` selects the executing backend (``"row"`` / ``"columnar"``
-        / ``"auto"``); it is part of the service's plan-cache key.
+        / ``"sharded"`` / ``"auto"``) and ``workers`` sizes the sharded
+        worker pool; both are part of the service's plan-cache key.
         """
-        outcome = await self.service.execute(self.engine_name, query, result_name, backend)
+        outcome = await self.service.execute(
+            self.engine_name, query, result_name, backend, workers=workers
+        )
         self.requests += 1
         if outcome.cached:
             self.cache_hits += 1
@@ -86,7 +91,7 @@ class Session:
         return await self.service.mutate(self.engine_name, mutator)
 
     async def explain_analyze(
-        self, query, result_name: Optional[str] = None, backend=None
+        self, query, result_name: Optional[str] = None, backend=None, workers=None
     ) -> str:
         """Execute ``query`` through the service and render EXPLAIN ANALYZE.
 
@@ -99,11 +104,11 @@ class Session:
         id.  Estimates fed by executed-cardinality feedback (rather than
         samples) are tagged ``est←feedback``.
         """
-        outcome = await self.execute(query, result_name, backend)
+        outcome = await self.execute(query, result_name, backend, workers)
         catalog = catalog_for(self.engine)
         observed = frozenset(catalog.observed_view())
         entry = self.service.plan_cache(self.engine_name).peek(
-            outcome.fingerprint, outcome.backend
+            outcome.fingerprint, outcome.backend, outcome.workers
         )
         header = [
             f"fingerprint: {outcome.fingerprint}  engine: {outcome.engine}",

@@ -334,7 +334,7 @@ class TestFeedback:
             assert result.engine == "database"
             assert result.improved or result.error_before <= 0.02
             models = load_cost_profile(str(path))
-            assert set(models) == {"database", "wsd", "uwsdt", "columnar"}
+            assert set(models) == {"database", "wsd", "uwsdt", "columnar", "sharded"}
             assert models["database"].constants() == result.model.constants()
             # The loaded profile is what the planner now serves.
             served = Statistics(engine="database").cost_model()
